@@ -1,0 +1,111 @@
+// §V-A vs §V-B — the prepopulated/dynamic trade-off at boot and VM-start.
+//
+// Prepopulated: the initial path computation covers every VF LID (larger
+// PCt, larger LFT distribution), but starting a VM costs nothing on the
+// network. Dynamic: minimal initial configuration, but every VM start sends
+// one SMP per switch. This bench boots both schemes on the same fabric and
+// then starts a storm of VMs, reporting both halves; it also prints the
+// §V-A LID budget arithmetic (17 LIDs/hypervisor -> 2891 hypervisors).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "model/cost.hpp"
+
+namespace {
+
+using namespace ibvs;
+
+void print_boot_comparison() {
+  std::printf("\nBoot + VM-start cost, virtualized 324-node tree, 18 "
+              "hypervisors x 16 VFs\n");
+  std::printf("%-24s %10s %12s %12s | %12s %14s\n", "scheme", "boot LIDs",
+              "boot PCt(ms)", "boot SMPs", "VM-start SMPs", "(48 VMs total)");
+  bench::rule(96);
+  for (const auto scheme :
+       {core::LidScheme::kPrepopulated, core::LidScheme::kDynamic}) {
+    auto b = bench::VirtualBench::make(scheme, 18, 16);
+    const std::size_t boot_lids = b.sm->lids().count();
+    // make() just booted: PCt comes from the routing result, boot SMPs from
+    // the transport counters (no VM has started yet).
+    const double pc_ms = b.sm->routing_result().compute_seconds * 1e3;
+    const auto boot_smps = b.sm->transport().counters().lft_block_writes;
+
+    std::uint64_t storm_smps = 0;
+    for (int i = 0; i < 48; ++i) {
+      storm_smps += b.vsf->create_vm().lft_smps;
+    }
+    std::printf("%-24s %10zu %12.3f %12llu | %12llu %14s\n",
+                core::to_string(scheme).c_str(), boot_lids, pc_ms,
+                static_cast<unsigned long long>(boot_smps),
+                static_cast<unsigned long long>(storm_smps), "");
+  }
+  bench::rule(96);
+
+  const auto limits = model::prepopulated_limits(16);
+  std::printf(
+      "Prepopulated LID budget (§V-A, 16 VFs/hypervisor): %zu LIDs per "
+      "hypervisor ->\n  max %zu hypervisors, max %zu VMs in one subnet "
+      "(unicast LID limit %zu).\n\n",
+      limits.lids_per_hypervisor, limits.max_hypervisors, limits.max_vms,
+      kUnicastLidCount);
+}
+
+void BM_CreateVmPrepopulated(benchmark::State& state) {
+  auto b = bench::VirtualBench::make(core::LidScheme::kPrepopulated, 18, 16);
+  for (auto _ : state) {
+    auto report = b.vsf->create_vm(0);
+    benchmark::DoNotOptimize(report.lid);
+    state.PauseTiming();
+    b.vsf->destroy_vm(report.vm);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CreateVmPrepopulated)->Unit(benchmark::kMicrosecond);
+
+void BM_CreateVmDynamic(benchmark::State& state) {
+  auto b = bench::VirtualBench::make(core::LidScheme::kDynamic, 18, 16);
+  for (auto _ : state) {
+    auto report = b.vsf->create_vm(0);
+    benchmark::DoNotOptimize(report.lid);
+    state.PauseTiming();
+    b.vsf->destroy_vm(report.vm);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CreateVmDynamic)->Unit(benchmark::kMicrosecond);
+
+/// Boot path computation with and without prepopulated VF LIDs — the PCt
+/// asymmetry of §V-A/§V-B, measured end to end.
+void BM_BootPathComputation(benchmark::State& state) {
+  const auto scheme = static_cast<core::LidScheme>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fabric fabric;
+    auto built =
+        topology::build_paper_fat_tree(fabric, topology::PaperFatTree::k324);
+    auto hyps = core::attach_hypervisors(fabric, built.host_slots, 16, 18);
+    const NodeId sm_node = fabric.add_ca("sm");
+    fabric.connect(sm_node, 1, built.host_slots[18].leaf,
+                   built.host_slots[18].port);
+    sm::SubnetManager smgr(
+        fabric, sm_node, routing::make_engine(routing::EngineKind::kFatTree));
+    core::VSwitchFabric vsf(smgr, hyps, scheme);
+    state.ResumeTiming();
+    auto report = vsf.boot();
+    benchmark::DoNotOptimize(report.path_computation_seconds);
+  }
+  state.SetLabel(core::to_string(scheme));
+}
+BENCHMARK(BM_BootPathComputation)
+    ->Arg(static_cast<int>(core::LidScheme::kPrepopulated))
+    ->Arg(static_cast<int>(core::LidScheme::kDynamic))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_boot_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Fig. 6 / §VI-D — "LFTs Update on Limited Switches".
+//
+// On a 3-level fat-tree, migrations of increasing interconnection distance
+// (same leaf, same pod, across pods) are compared by:
+//   * n' under the deterministic method (balancing-preserving),
+//   * the minimal (skyline) set size — 1 for an intra-leaf move,
+//   * how many migrations can run concurrently (disjoint update sets).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "cloud/orchestrator.hpp"
+
+namespace {
+
+using namespace ibvs;
+
+struct Fig6Bench {
+  Fabric fabric;
+  topology::Built built;
+  std::vector<core::VirtualHca> hyps;
+  std::unique_ptr<sm::SubnetManager> sm;
+  std::unique_ptr<core::VSwitchFabric> vsf;
+
+  // A small 3-level tree: 4 pods x (2 leaves x 2 spines), 4 cores,
+  // 2 hosts per leaf -> 16 host slots on 8 leaves across 4 pods.
+  static Fig6Bench make(core::LidScheme scheme) {
+    Fig6Bench b;
+    b.built = topology::build_three_level_fat_tree(
+        b.fabric, topology::ThreeLevelParams{.num_pods = 4,
+                                             .leaves_per_pod = 2,
+                                             .spines_per_pod = 2,
+                                             .num_cores = 4,
+                                             .hosts_per_leaf = 2,
+                                             .radix = 8});
+    // One hypervisor on every host slot except the last (SM node).
+    std::vector<topology::HostSlot> slots(b.built.host_slots.begin(),
+                                          b.built.host_slots.end() - 1);
+    b.hyps = core::attach_hypervisors(b.fabric, slots, 2);
+    const auto& sm_slot = b.built.host_slots.back();
+    const NodeId sm_node = b.fabric.add_ca("sm-node");
+    b.fabric.connect(sm_node, 1, sm_slot.leaf, sm_slot.port);
+    b.sm = std::make_unique<sm::SubnetManager>(
+        b.fabric, sm_node,
+        routing::make_engine(routing::EngineKind::kFatTree));
+    b.vsf = std::make_unique<core::VSwitchFabric>(*b.sm, b.hyps, scheme);
+    b.vsf->boot();
+    return b;
+  }
+};
+
+void print_distance_table(core::LidScheme scheme) {
+  std::printf("%s:\n", core::to_string(scheme).c_str());
+  std::printf("  %-34s %16s %14s %14s\n", "migration", "n' deterministic",
+              "minimal set", "switches n");
+  bench::rule(86);
+  struct Move {
+    const char* label;
+    std::size_t src, dst;
+  };
+  // Hypervisors are slot-ordered: 0,1 on leaf0(pod0); 2,3 on leaf1(pod0);
+  // 4..7 pod1; etc.
+  const Move moves[] = {
+      {"within one leaf switch", 0, 1},
+      {"across leaves, same pod", 0, 2},
+      {"across pods (through the core)", 0, 6},
+      {"across pods, far corner", 0, 14},
+  };
+  for (const auto& move : moves) {
+    auto b = Fig6Bench::make(scheme);
+    const auto vm = b.vsf->create_vm(move.src);
+    const auto det = b.vsf->migrate_vm(vm.vm, move.dst);
+
+    auto b2 = Fig6Bench::make(scheme);
+    const auto vm2 = b2.vsf->create_vm(move.src);
+    core::MigrationOptions minimal;
+    minimal.mode = core::ReconfigMode::kMinimal;
+    const auto min = b2.vsf->migrate_vm(vm2.vm, move.dst, minimal);
+
+    std::printf("  %-34s %16zu %14zu %14zu\n", move.label,
+                det.reconfig.switches_updated, min.reconfig.switches_updated,
+                det.reconfig.switches_total);
+  }
+  bench::rule(86);
+}
+
+void print_parallel_rounds() {
+  std::printf(
+      "Concurrent migrations (minimal mode, disjoint update sets):\n");
+  auto b = Fig6Bench::make(core::LidScheme::kDynamic);
+  cloud::CloudOrchestrator orch(*b.vsf, cloud::Placement::kRoundRobin);
+  const auto vms = orch.launch_vms(static_cast<std::size_t>(b.hyps.size()));
+
+  // One intra-leaf migration per leaf: all of them fit in a single round —
+  // "as many concurrent migrations as there exist leaf switches" (§VI-D).
+  std::vector<cloud::MigrationRequest> intra;
+  for (std::size_t leaf = 0; leaf + 1 < b.hyps.size() / 2; ++leaf) {
+    intra.push_back({vms[2 * leaf], 2 * leaf + 1});
+  }
+  const auto intra_plan =
+      orch.plan_parallel(intra, core::ReconfigMode::kMinimal);
+  std::printf("  %zu intra-leaf migrations -> %zu round(s)\n", intra.size(),
+              intra_plan.num_rounds());
+
+  // The same number of cross-pod migrations conflict much more.
+  std::vector<cloud::MigrationRequest> wide;
+  for (std::size_t i = 0; i < intra.size(); ++i) {
+    wide.push_back({vms[2 * i], (2 * i + 7) % b.hyps.size()});
+  }
+  const auto wide_plan =
+      orch.plan_parallel(wide, core::ReconfigMode::kMinimal);
+  std::printf("  %zu cross-pod  migrations -> %zu round(s)\n\n", wide.size(),
+              wide_plan.num_rounds());
+}
+
+void BM_MinimalSetComputation(benchmark::State& state) {
+  auto b = Fig6Bench::make(core::LidScheme::kDynamic);
+  const auto vm = b.vsf->create_vm(0);
+  core::MigrationOptions minimal;
+  minimal.mode = core::ReconfigMode::kMinimal;
+  std::size_t dst = 14;
+  for (auto _ : state) {
+    auto report = b.vsf->migrate_vm(vm.vm, dst, minimal);
+    benchmark::DoNotOptimize(report.minimal_set_size);
+    dst = b.vsf->vm(vm.vm).hypervisor == 14 ? 0 : 14;
+  }
+}
+BENCHMARK(BM_MinimalSetComputation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "\nFig. 6 — switches updated vs migration distance (3-level "
+      "fat-tree: 4 pods, 20 switches)\n\n");
+  print_distance_table(core::LidScheme::kDynamic);
+  print_distance_table(core::LidScheme::kPrepopulated);
+  print_parallel_rounds();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

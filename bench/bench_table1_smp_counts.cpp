@@ -1,0 +1,126 @@
+// Table I — "Number of required SMPs to update LFTs of all switches for the
+// fat-tree topologies used in Fig. 7".
+//
+// Two parts:
+//  1. The closed-form table for all four paper topologies (reproduces the
+//     paper's integers exactly).
+//  2. A simulation cross-check on the 324- and 648-node trees: a real SM
+//     sweep counts actual distribution SMPs, and real migrations count
+//     actual LID-swap/copy SMPs, confirming the formulas.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/common.hpp"
+#include "model/cost.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ibvs;
+
+void print_closed_form() {
+  std::printf(
+      "\nTable I — SMPs required to update the LFTs of all switches\n");
+  std::printf("%8s %9s %7s %10s %14s %16s %16s %16s\n", "Nodes", "Switches",
+              "LIDs", "Blocks/sw", "Min SMPs full", "Min SMPs vSwitch",
+              "Max SMPs swap", "Max SMPs copy");
+  bench::rule(104);
+  for (const auto& row : model::table1_paper_rows()) {
+    std::printf("%8zu %9zu %7zu %10zu %14llu %16llu %16llu %16llu\n",
+                row.nodes, row.switches, row.lids, row.min_lft_blocks,
+                static_cast<unsigned long long>(row.min_smps_full_rc),
+                static_cast<unsigned long long>(row.min_smps_vswitch),
+                static_cast<unsigned long long>(row.max_smps_swap),
+                static_cast<unsigned long long>(row.max_smps_copy));
+  }
+  bench::rule(104);
+  std::printf(
+      "Paper's rows:   324/36/360/6/216/1/72   648/54/702/11/594/1/108\n"
+      "              5832/972/6804/107/104004/1/1944   "
+      "11664/1620/13284/208/336960/1/3240\n\n");
+}
+
+void simulate_tree(topology::PaperFatTree which) {
+  Fabric fabric;
+  const auto built = topology::build_paper_fat_tree(fabric, which);
+  const auto hosts = topology::attach_hosts(fabric, built.host_slots);
+  const NodeId sm_node = hosts[0];
+  sm::SubnetManager smgr(fabric, sm_node,
+                         routing::make_engine(routing::EngineKind::kFatTree));
+  const auto sweep = smgr.full_sweep();
+  const auto expect = model::table1_row(hosts.size(), fabric.num_switches());
+  std::printf("  %-28s measured full-RC SMPs %8llu   formula %8llu   %s\n",
+              topology::to_string(which).c_str(),
+              static_cast<unsigned long long>(sweep.distribution.smps),
+              static_cast<unsigned long long>(expect.min_smps_full_rc),
+              sweep.distribution.smps == expect.min_smps_full_rc ? "MATCH"
+                                                                 : "DIFFER");
+}
+
+void simulate_migration_smps() {
+  // Real migrations on a virtualized 324-tree; the swap never exceeds
+  // 2 * switches, the copy never exceeds switches, and the best observed
+  // case is a single SMP (intra-leaf, same block).
+  for (const auto scheme :
+       {core::LidScheme::kPrepopulated, core::LidScheme::kDynamic}) {
+    auto b = bench::VirtualBench::make(scheme, 18, 4);
+    SplitMix64 rng(5);
+    std::vector<core::VmHandle> vms;
+    for (int i = 0; i < 18; ++i) vms.push_back(b.vsf->create_vm().vm);
+    std::uint64_t min_smps = ~0ull;
+    std::uint64_t max_smps = 0;
+    const std::size_t n = b.fabric.num_switches();
+    for (int i = 0; i < 60; ++i) {
+      const auto vm = vms[rng.below(vms.size())];
+      const auto dst =
+          b.vsf->find_free_hypervisor(b.vsf->vm(vm).hypervisor);
+      if (!dst) continue;
+      const auto report = b.vsf->migrate_vm(vm, *dst);
+      min_smps = std::min(min_smps, report.reconfig.lft_smps);
+      max_smps = std::max(max_smps, report.reconfig.lft_smps);
+    }
+    std::printf(
+        "  %-28s migration LFT SMPs: min %3llu  max %3llu   (bounds: best 1, "
+        "worst %llu)\n",
+        core::to_string(scheme).c_str(),
+        static_cast<unsigned long long>(min_smps),
+        static_cast<unsigned long long>(max_smps),
+        static_cast<unsigned long long>(
+            scheme == core::LidScheme::kPrepopulated ? 2 * n : n));
+  }
+  std::printf("\n");
+}
+
+void BM_FullSweepDistribution(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fabric fabric;
+    const auto built =
+        topology::build_paper_fat_tree(fabric, topology::PaperFatTree::k324);
+    const auto hosts = topology::attach_hosts(fabric, built.host_slots);
+    sm::SubnetManager smgr(
+        fabric, hosts[0],
+        routing::make_engine(routing::EngineKind::kFatTree));
+    smgr.discover();
+    smgr.assign_lids();
+    smgr.compute_routes();
+    state.ResumeTiming();
+    auto report = smgr.distribute_lfts();
+    benchmark::DoNotOptimize(report.smps);
+  }
+}
+BENCHMARK(BM_FullSweepDistribution)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_closed_form();
+  std::printf("Simulation cross-check:\n");
+  simulate_tree(topology::PaperFatTree::k324);
+  simulate_tree(topology::PaperFatTree::k648);
+  simulate_migration_smps();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Shared plumbing for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper. Default
+// parameters keep every binary under a few seconds so `for b in bench/*`
+// stays cheap; the paper's large subnets are enabled with environment
+// variables:
+//   IBVS_FIG7_LARGE=1  adds the 5832-node fat-tree where relevant
+//   IBVS_FIG7_FULL=1   adds the 11664-node fat-tree (minutes to hours,
+//                      dominated by DFSSSP/LASH — exactly as in the paper)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/virtualizer.hpp"
+#include "core/vswitch.hpp"
+#include "sm/subnet_manager.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/hosts.hpp"
+
+namespace ibvs::bench {
+
+inline bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+inline std::vector<topology::PaperFatTree> selected_paper_trees() {
+  std::vector<topology::PaperFatTree> trees{topology::PaperFatTree::k324,
+                                            topology::PaperFatTree::k648};
+  if (env_flag("IBVS_FIG7_LARGE") || env_flag("IBVS_FIG7_FULL")) {
+    trees.push_back(topology::PaperFatTree::k5832);
+  }
+  if (env_flag("IBVS_FIG7_FULL")) {
+    trees.push_back(topology::PaperFatTree::k11664);
+  }
+  return trees;
+}
+
+/// A booted, virtualized subnet for migration benches.
+struct VirtualBench {
+  Fabric fabric;
+  topology::Built built;
+  std::vector<core::VirtualHca> hyps;
+  std::unique_ptr<sm::SubnetManager> sm;
+  std::unique_ptr<core::VSwitchFabric> vsf;
+
+  /// `hyps_count` hypervisors on the paper's 324-node switch fabric (or a
+  /// smaller two-level tree when small=true).
+  static VirtualBench make(core::LidScheme scheme, std::size_t hyps_count,
+                           std::size_t vfs,
+                           routing::EngineKind engine =
+                               routing::EngineKind::kFatTree,
+                           bool small = false) {
+    VirtualBench b;
+    if (small) {
+      b.built = topology::build_two_level_fat_tree(
+          b.fabric, topology::TwoLevelParams{.num_leaves = 4,
+                                             .num_spines = 2,
+                                             .hosts_per_leaf = 4,
+                                             .radix = 12});
+    } else {
+      b.built = topology::build_paper_fat_tree(
+          b.fabric, topology::PaperFatTree::k324);
+    }
+    // Spread hypervisors two per leaf so the workload has both intra-leaf
+    // and cross-leaf migrations (piling all slots onto one leaf would
+    // degenerate the n' statistics).
+    std::vector<topology::HostSlot> spread;
+    const std::size_t per_leaf =
+        b.built.leaves.empty()
+            ? b.built.host_slots.size()
+            : b.built.host_slots.size() / b.built.leaves.size();
+    for (std::size_t i = 0; spread.size() < hyps_count + 1; ++i) {
+      const std::size_t leaf = i / 2;
+      const std::size_t idx = leaf * per_leaf + (i % 2);
+      if (idx >= b.built.host_slots.size()) break;
+      spread.push_back(b.built.host_slots[idx]);
+    }
+    // Small fabrics may not offer 2*(leaves) slots; top up with the rest.
+    for (std::size_t leaf = 0;
+         spread.size() < hyps_count + 1 && leaf < b.built.leaves.size();
+         ++leaf) {
+      for (std::size_t j = 2;
+           j < per_leaf && spread.size() < hyps_count + 1; ++j) {
+        spread.push_back(b.built.host_slots[leaf * per_leaf + j]);
+      }
+    }
+    b.hyps = core::attach_hypervisors(b.fabric, spread, vfs, hyps_count);
+    const auto& slot = spread.at(hyps_count);
+    const NodeId sm_node = b.fabric.add_ca("sm-node");
+    b.fabric.connect(sm_node, 1, slot.leaf, slot.port);
+    b.sm = std::make_unique<sm::SubnetManager>(
+        b.fabric, sm_node, routing::make_engine(engine));
+    b.vsf = std::make_unique<core::VSwitchFabric>(*b.sm, b.hyps, scheme);
+    b.vsf->boot();
+    return b;
+  }
+};
+
+/// printf-style row helpers for fixed-width ASCII tables.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace ibvs::bench

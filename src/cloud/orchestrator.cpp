@@ -1,0 +1,163 @@
+#include "cloud/orchestrator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace ibvs::cloud {
+
+CloudOrchestrator::CloudOrchestrator(core::VSwitchFabric& fabric,
+                                     Placement placement, FlowTiming timing)
+    : fabric_(fabric), placement_(placement), timing_(timing) {}
+
+std::optional<std::size_t> CloudOrchestrator::pick_hypervisor() {
+  const auto& hyps = fabric_.hypervisors();
+  switch (placement_) {
+    case Placement::kFirstFit:
+      return fabric_.find_free_hypervisor();
+    case Placement::kRoundRobin: {
+      for (std::size_t tried = 0; tried < hyps.size(); ++tried) {
+        const std::size_t h = (rr_next_ + tried) % hyps.size();
+        if (fabric_.free_vf_on(h)) {
+          rr_next_ = (h + 1) % hyps.size();
+          return h;
+        }
+      }
+      return std::nullopt;
+    }
+    case Placement::kSpread: {
+      std::optional<std::size_t> best;
+      std::size_t best_used = std::numeric_limits<std::size_t>::max();
+      for (std::size_t h = 0; h < hyps.size(); ++h) {
+        if (!fabric_.free_vf_on(h)) continue;
+        std::size_t used = 0;
+        for (std::uint32_t id : fabric_.active_vm_ids()) {
+          if (fabric_.vm(core::VmHandle{id}).hypervisor == h) ++used;
+        }
+        if (used < best_used) {
+          best_used = used;
+          best = h;
+        }
+      }
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<core::VmHandle> CloudOrchestrator::launch_vms(std::size_t count) {
+  std::vector<core::VmHandle> handles;
+  handles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto h = pick_hypervisor();
+    IBVS_REQUIRE(h.has_value(), "cloud is full: no free VF");
+    handles.push_back(fabric_.create_vm(*h).vm);
+  }
+  return handles;
+}
+
+MigrationFlowReport CloudOrchestrator::migrate(
+    core::VmHandle vm, std::size_t dst_hypervisor,
+    const core::MigrationOptions& options) {
+  MigrationFlowReport report;
+  // Step 1: detach the VF; the live migration begins.
+  report.detach_s = timing_.detach_vf_s;
+  report.copy_s = timing_.memory_copy_s();
+  // Step 2: OpenStack signals OpenSM (Ethernet-side, cheap).
+  report.signal_s = timing_.signal_s;
+  // Step 3: OpenSM reconfigures the IB network.
+  report.network = fabric_.migrate_vm(vm, dst_hypervisor, options);
+  report.reconfig_s = (report.network.reconfig.lft_time_us +
+                       report.network.reconfig.drain_time_us) *
+                      1e-6;
+  // Step 4: the VF holding the VM's addresses is attached at the target.
+  report.attach_s = timing_.attach_vf_s;
+  return report;
+}
+
+std::vector<routing::SwitchIdx> CloudOrchestrator::predict_update_set(
+    core::VmHandle vm, std::size_t dst_hypervisor,
+    core::ReconfigMode mode) const {
+  const auto& sm = fabric_.subnet_manager();
+  const auto& routing = sm.routing_result();
+  const auto& v = fabric_.vm(vm);
+  const auto& hyps = fabric_.hypervisors();
+  IBVS_REQUIRE(dst_hypervisor < hyps.size(), "hypervisor out of range");
+
+  // The deterministic method updates exactly the switches where the two
+  // involved entries differ. Dynamic scheme: VM entry vs destination PF
+  // entry. Prepopulated: VM entry vs destination VF entry (either LID's
+  // entry changes iff they differ).
+  Lid other;
+  if (fabric_.scheme() == core::LidScheme::kPrepopulated) {
+    const auto free_vf = fabric_.free_vf_on(dst_hypervisor);
+    IBVS_REQUIRE(free_vf.has_value(), "no free VF on the destination");
+    other = sm.fabric().node(hyps[dst_hypervisor].vfs[*free_vf]).lid();
+  } else {
+    other = sm.fabric().node(hyps[dst_hypervisor].pf).lid();
+  }
+
+  core::EntryDelta delta;
+  const std::size_t s_count = routing.graph.num_switches();
+  delta.old_entry.resize(s_count);
+  delta.new_entry.resize(s_count);
+  for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+    delta.old_entry[s] = routing.lfts[s].get(v.lid);
+    delta.new_entry[s] = routing.lfts[s].get(other);
+  }
+  if (mode == core::ReconfigMode::kMinimal) {
+    const auto new_sw = routing.graph.dense(hyps[dst_hypervisor].leaf);
+    return core::minimal_update_set(routing.graph, delta, new_sw,
+                                    hyps[dst_hypervisor].leaf_port);
+  }
+  return core::changed_switches(delta);
+}
+
+ParallelPlan CloudOrchestrator::plan_parallel(
+    const std::vector<MigrationRequest>& requests, core::ReconfigMode mode) {
+  ParallelPlan plan;
+  std::vector<std::vector<routing::SwitchIdx>> round_union;
+
+  for (const auto& request : requests) {
+    auto set = predict_update_set(request.vm, request.dst_hypervisor, mode);
+    std::sort(set.begin(), set.end());
+    bool placed = false;
+    for (std::size_t r = 0; r < plan.rounds.size() && !placed; ++r) {
+      std::vector<routing::SwitchIdx> overlap;
+      std::set_intersection(round_union[r].begin(), round_union[r].end(),
+                            set.begin(), set.end(),
+                            std::back_inserter(overlap));
+      if (!overlap.empty()) continue;
+      plan.rounds[r].push_back(request);
+      std::vector<routing::SwitchIdx> merged;
+      std::set_union(round_union[r].begin(), round_union[r].end(),
+                     set.begin(), set.end(), std::back_inserter(merged));
+      round_union[r] = std::move(merged);
+      placed = true;
+    }
+    if (!placed) {
+      plan.rounds.push_back({request});
+      round_union.push_back(std::move(set));
+    }
+  }
+  return plan;
+}
+
+CloudOrchestrator::PlanExecution CloudOrchestrator::execute(
+    const ParallelPlan& plan, const core::MigrationOptions& options) {
+  PlanExecution exec;
+  for (const auto& round : plan.rounds) {
+    double round_max = 0.0;
+    for (const auto& request : round) {
+      auto report = migrate(request.vm, request.dst_hypervisor, options);
+      round_max = std::max(round_max, report.total_s());
+      exec.serial_s += report.total_s();
+      exec.reports.push_back(std::move(report));
+    }
+    exec.elapsed_s += round_max;
+  }
+  return exec;
+}
+
+}  // namespace ibvs::cloud

@@ -1,0 +1,103 @@
+#include "core/shared_port.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::core {
+
+SharedPortFabric::SharedPortFabric(
+    Fabric& fabric, LidMap& lids,
+    std::vector<SharedPortHypervisor> hypervisors)
+    : fabric_(fabric), lids_(lids), hypervisors_(std::move(hypervisors)) {
+  IBVS_REQUIRE(!hypervisors_.empty(), "at least one hypervisor required");
+  resident_.resize(hypervisors_.size());
+  for (const auto& hyp : hypervisors_) {
+    IBVS_REQUIRE(fabric_.node(hyp.hca).is_ca(),
+                 "shared-port hypervisor must be a CA");
+  }
+}
+
+Lid SharedPortFabric::shared_lid(std::size_t hypervisor) const {
+  IBVS_REQUIRE(hypervisor < hypervisors_.size(), "hypervisor out of range");
+  return fabric_.node(hypervisors_[hypervisor].hca).lid();
+}
+
+std::uint32_t SharedPortFabric::create_vm(std::size_t hypervisor) {
+  IBVS_REQUIRE(hypervisor < hypervisors_.size(), "hypervisor out of range");
+  IBVS_REQUIRE(resident_[hypervisor].size() <
+                   hypervisors_[hypervisor].num_vfs,
+               "no free VF on that hypervisor");
+  SharedPortVm vm;
+  vm.id = next_id_++;
+  vm.hypervisor = hypervisor;
+  vm.vf_index = resident_[hypervisor].size();
+  vm.vguid = fabric_.allocate_guid();
+  resident_[hypervisor].push_back(vm.id);
+  vms_.push_back(vm);
+  return vm.id;
+}
+
+const SharedPortVm& SharedPortFabric::vm(std::uint32_t id) const {
+  const auto it =
+      std::find_if(vms_.begin(), vms_.end(),
+                   [&](const SharedPortVm& v) { return v.id == id; });
+  IBVS_REQUIRE(it != vms_.end(), "unknown VM");
+  return *it;
+}
+
+std::size_t SharedPortFabric::vms_on(std::size_t hypervisor) const {
+  IBVS_REQUIRE(hypervisor < hypervisors_.size(), "hypervisor out of range");
+  return resident_[hypervisor].size();
+}
+
+SharedPortMigrationReport SharedPortFabric::migrate_vm(
+    std::uint32_t id, std::size_t dst_hypervisor, std::size_t active_peers,
+    bool emulate_lid_migration) {
+  IBVS_REQUIRE(dst_hypervisor < hypervisors_.size(),
+               "hypervisor out of range");
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [&](const SharedPortVm& v) { return v.id == id; });
+  IBVS_REQUIRE(it != vms_.end(), "unknown VM");
+  SharedPortVm& vm = *it;
+  IBVS_REQUIRE(dst_hypervisor != vm.hypervisor, "already there");
+  IBVS_REQUIRE(resident_[dst_hypervisor].size() <
+                   hypervisors_[dst_hypervisor].num_vfs,
+               "no free VF on the destination");
+
+  SharedPortMigrationReport report;
+  report.vm = id;
+  report.old_lid = shared_lid(vm.hypervisor);
+
+  auto& src_list = resident_[vm.hypervisor];
+  src_list.erase(std::remove(src_list.begin(), src_list.end(), id),
+                 src_list.end());
+
+  if (emulate_lid_migration) {
+    // §VII-B emulation: OpenSM swaps the LIDs of the source and the
+    // destination compute node, so the VM keeps its LID. Every other VM on
+    // either node suddenly answers to the wrong LID — hence the testbed's
+    // one-VM-per-node rule.
+    report.co_resident_vms_broken =
+        src_list.size() + resident_[dst_hypervisor].size();
+    const Lid src_lid = report.old_lid;
+    const Lid dst_lid = shared_lid(dst_hypervisor);
+    lids_.move(fabric_, src_lid, hypervisors_[dst_hypervisor].hca, 1);
+    lids_.move(fabric_, dst_lid, hypervisors_[vm.hypervisor].hca, 1);
+    report.new_lid = src_lid;
+    report.lid_changed = false;
+  } else {
+    // Driver reality: the VM adopts the destination hypervisor's LID; its
+    // own address changed, so every active peer's path record is stale.
+    report.new_lid = shared_lid(dst_hypervisor);
+    report.lid_changed = report.new_lid != report.old_lid;
+    report.peers_with_stale_paths = report.lid_changed ? active_peers : 0;
+  }
+
+  resident_[dst_hypervisor].push_back(id);
+  vm.hypervisor = dst_hypervisor;
+  vm.vf_index = resident_[dst_hypervisor].size() - 1;
+  return report;
+}
+
+}  // namespace ibvs::core

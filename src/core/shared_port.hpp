@@ -1,0 +1,88 @@
+// The SR-IOV Shared Port architecture (§IV-A, Fig. 1) — the model actually
+// implemented by the IB drivers at the time of the paper, and the baseline
+// whose shortcomings motivate the vSwitch work.
+//
+// One HCA = one port on the subnet: PF and all VFs share a single LID and
+// the QP space; VFs get their own GIDs but QP0 is blocked for them (SMPs
+// from VFs are discarded), so no SM can run inside a VM. On migration a VM
+// cannot keep its LID — it assumes the destination hypervisor's LID — and
+// if the LID were migrated along (as the paper's emulation had to do), every
+// other VM sharing that LID loses connectivity.
+//
+// This model is deliberately lightweight: it exists so the examples and
+// benches can put numbers on "what breaks" next to the vSwitch runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "ib/lid_map.hpp"
+
+namespace ibvs::core {
+
+struct SharedPortHypervisor {
+  NodeId hca = kInvalidNode;  ///< one CA node; its LID is shared by all VFs
+  std::size_t num_vfs = 16;
+};
+
+struct SharedPortVm {
+  std::uint32_t id = 0;
+  std::size_t hypervisor = 0;
+  std::size_t vf_index = 0;
+  Guid vguid;  ///< per-VF GUID/GID: the only address a VM keeps
+};
+
+struct SharedPortMigrationReport {
+  std::uint32_t vm = 0;
+  Lid old_lid;
+  Lid new_lid;
+  bool lid_changed = false;
+  /// Peers holding cached path records keyed to the old LID must re-query
+  /// the SA (the storm that ref. [10] measures).
+  std::size_t peers_with_stale_paths = 0;
+  /// VMs left on the source hypervisor that lose connectivity if the LID is
+  /// emulated to move with the VM (the paper's §VII-B constraint: at most
+  /// one VM per node in the emulation).
+  std::size_t co_resident_vms_broken = 0;
+};
+
+class SharedPortFabric {
+ public:
+  SharedPortFabric(Fabric& fabric, LidMap& lids,
+                   std::vector<SharedPortHypervisor> hypervisors);
+
+  /// QP0 is proxied/blocked for VFs: an SM can never run inside a VM.
+  [[nodiscard]] static constexpr bool vm_may_run_sm() noexcept {
+    return false;
+  }
+
+  /// All VMs on a hypervisor answer to its single LID.
+  [[nodiscard]] Lid shared_lid(std::size_t hypervisor) const;
+
+  std::uint32_t create_vm(std::size_t hypervisor);
+  [[nodiscard]] const SharedPortVm& vm(std::uint32_t id) const;
+
+  /// Migrates a VM. `emulate_lid_migration` reproduces the paper's testbed
+  /// emulation (the LID travels with the VM, breaking co-residents);
+  /// otherwise the VM simply adopts the destination's LID, breaking its own
+  /// peers' cached records. `active_peers` sizes the re-query storm.
+  SharedPortMigrationReport migrate_vm(std::uint32_t id,
+                                       std::size_t dst_hypervisor,
+                                       std::size_t active_peers,
+                                       bool emulate_lid_migration = false);
+
+  [[nodiscard]] std::size_t vms_on(std::size_t hypervisor) const;
+
+ private:
+  Fabric& fabric_;
+  LidMap& lids_;
+  std::vector<SharedPortHypervisor> hypervisors_;
+  std::vector<std::vector<std::uint32_t>> resident_;  // VM ids per hyp
+  std::vector<SharedPortVm> vms_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace ibvs::core

@@ -1,0 +1,83 @@
+#include "core/skyline.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::core {
+
+std::vector<routing::SwitchIdx> changed_switches(const EntryDelta& delta) {
+  IBVS_REQUIRE(delta.old_entry.size() == delta.new_entry.size(),
+               "delta vectors must align");
+  std::vector<routing::SwitchIdx> result;
+  for (routing::SwitchIdx s = 0; s < delta.old_entry.size(); ++s) {
+    if (delta.old_entry[s] != delta.new_entry[s]) result.push_back(s);
+  }
+  return result;
+}
+
+std::vector<routing::SwitchIdx> minimal_update_set(
+    const routing::SwitchGraph& graph, const EntryDelta& delta,
+    routing::SwitchIdx new_attach_sw, PortNum new_attach_port) {
+  const std::size_t s_count = graph.num_switches();
+  IBVS_REQUIRE(delta.old_entry.size() == s_count &&
+                   delta.new_entry.size() == s_count,
+               "delta vectors must cover every switch");
+
+  std::vector<bool> updated(s_count, false);
+  std::vector<routing::SwitchIdx> path;
+
+  // Traces from `start` over the hybrid table; returns true when delivered
+  // to the new attachment. On failure `path` holds the visited switches.
+  const auto trace = [&](routing::SwitchIdx start) {
+    path.clear();
+    routing::SwitchIdx x = start;
+    std::size_t guard = 0;
+    while (guard++ <= s_count) {
+      path.push_back(x);
+      const PortNum port =
+          updated[x] ? delta.new_entry[x] : delta.old_entry[x];
+      if (x == new_attach_sw && port == new_attach_port) return true;
+      const std::uint32_t e = graph.edge_of(x, port);
+      if (port == kDropPort || e == routing::SwitchGraph::kNoEdge) {
+        return false;  // dropped or delivered out of a host port: wrong spot
+      }
+      x = graph.edges[e].to;
+    }
+    return false;  // loop
+  };
+
+  // Fixpoint: each round repairs at least one switch, so it terminates in at
+  // most |changed| rounds.
+  for (;;) {
+    bool all_ok = true;
+    bool repaired = false;
+    for (routing::SwitchIdx start = 0; start < s_count && !repaired;
+         ++start) {
+      if (trace(start)) continue;
+      all_ok = false;
+      // Repair as close to the failure point as possible (the last switch
+      // on the path whose entry changes): repairs near the destination fix
+      // whole families of paths at once — an intra-leaf move converges to
+      // just the leaf.
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (!updated[*it] && delta.old_entry[*it] != delta.new_entry[*it]) {
+          updated[*it] = true;
+          repaired = true;
+          break;
+        }
+      }
+      IBVS_ENSURE(repaired,
+                  "route cannot be repaired: new entries do not deliver");
+    }
+    if (all_ok) break;
+  }
+
+  std::vector<routing::SwitchIdx> result;
+  for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+    if (updated[s]) result.push_back(s);
+  }
+  return result;
+}
+
+}  // namespace ibvs::core

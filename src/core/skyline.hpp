@@ -1,0 +1,40 @@
+// Limited-switch reconfiguration analysis (§VI-D).
+//
+// The deterministic reconfiguration method visits all n switches and updates
+// the n' whose entries change — preserving the initial balancing, but
+// sometimes updating more switches than strictly required for connectivity.
+// The special case the paper highlights: a migration *within one leaf
+// switch* only ever needs that leaf updated, whatever the topology.
+//
+// minimal_update_set() computes a connectivity-sufficient repair set the
+// skyline way: starting from nothing, repeatedly trace every switch's route
+// for the moved LID over a hybrid table (updated switches use the new entry,
+// the rest keep the old) and pull in the first not-yet-updated switch with a
+// differing entry along each failing path. The fixpoint is the set of
+// switches a minimum reconfiguration must touch (plus possibly a few on
+// shared path prefixes), and is what bounds how many migrations can run
+// concurrently without interfering.
+#pragma once
+
+#include <vector>
+
+#include "routing/graph.hpp"
+
+namespace ibvs::core {
+
+/// Per-switch old/new forwarding entry for one LID.
+struct EntryDelta {
+  std::vector<PortNum> old_entry;  ///< indexed by dense switch index
+  std::vector<PortNum> new_entry;
+};
+
+/// Switches whose entries differ (the deterministic n' set).
+std::vector<routing::SwitchIdx> changed_switches(const EntryDelta& delta);
+
+/// Connectivity-sufficient repair set (see file comment). `new_attach` is
+/// where the LID lives after the move: (switch, delivery port).
+std::vector<routing::SwitchIdx> minimal_update_set(
+    const routing::SwitchGraph& graph, const EntryDelta& delta,
+    routing::SwitchIdx new_attach_sw, PortNum new_attach_port);
+
+}  // namespace ibvs::core

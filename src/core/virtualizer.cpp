@@ -1,0 +1,48 @@
+#include "core/virtualizer.hpp"
+
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace ibvs::core {
+
+VirtualHca attach_hypervisor(Fabric& fabric, const topology::HostSlot& slot,
+                             std::size_t num_vfs, std::string_view name) {
+  IBVS_REQUIRE(num_vfs >= 1 && num_vfs <= 126,
+               "SR-IOV VF count must be in [1, 126]");
+  VirtualHca hca;
+  hca.leaf = slot.leaf;
+  hca.leaf_port = slot.port;
+
+  const std::string base(name);
+  hca.vswitch = fabric.add_switch(base + "/vsw", 2 + num_vfs,
+                                  SwitchFlavor::kVSwitch);
+  fabric.connect(hca.vswitch, 1, slot.leaf, slot.port);
+
+  hca.pf = fabric.add_ca(base + "/pf", 1, CaRole::kPf);
+  fabric.connect(hca.pf, 1, hca.vswitch, 2);
+
+  hca.vfs.reserve(num_vfs);
+  for (std::size_t i = 0; i < num_vfs; ++i) {
+    const NodeId vf =
+        fabric.add_ca(base + "/vf" + std::to_string(i), 1, CaRole::kVf);
+    fabric.connect(vf, 1, hca.vswitch, static_cast<PortNum>(3 + i));
+    hca.vfs.push_back(vf);
+  }
+  return hca;
+}
+
+std::vector<VirtualHca> attach_hypervisors(
+    Fabric& fabric, const std::vector<topology::HostSlot>& slots,
+    std::size_t num_vfs, std::size_t count) {
+  const std::size_t n = count == 0 ? slots.size() : std::min(count, slots.size());
+  std::vector<VirtualHca> result;
+  result.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.push_back(attach_hypervisor(fabric, slots[i], num_vfs,
+                                       "hyp-" + std::to_string(i)));
+  }
+  return result;
+}
+
+}  // namespace ibvs::core

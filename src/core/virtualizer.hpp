@@ -1,0 +1,44 @@
+// Turning host slots into SR-IOV vSwitch hypervisors (§IV-B, Fig. 2).
+//
+// Under the vSwitch model the HCA presents itself to the subnet as a small
+// switch: the hypervisor drives the PF, the VMs drive the VFs, and every
+// function is a *complete* vHCA with its own address set and QP space. Here
+// that becomes: one vSwitch node, one PF endpoint, `num_vfs` VF endpoints,
+// all cabled to the vSwitch, whose remaining port is the uplink into the
+// physical leaf switch.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ibvs::core {
+
+/// One virtualized hypervisor as seen by the subnet.
+struct VirtualHca {
+  NodeId vswitch = kInvalidNode;
+  NodeId pf = kInvalidNode;
+  std::vector<NodeId> vfs;
+  NodeId leaf = kInvalidNode;  ///< physical switch the uplink lands on
+  PortNum leaf_port = 0;       ///< ...and the port there
+};
+
+/// Default VF count: ConnectX-3 enables 16 by default (up to 126), per the
+/// paper's sizing example (17 LIDs per hypervisor -> 2891 hypervisors max).
+inline constexpr std::size_t kDefaultVfs = 16;
+
+/// Creates the vSwitch + PF + VFs for one hypervisor and cables the vSwitch
+/// uplink into `slot`. Port 1 of the vSwitch is the uplink, port 2 the PF,
+/// ports 3..2+num_vfs the VFs.
+VirtualHca attach_hypervisor(Fabric& fabric, const topology::HostSlot& slot,
+                             std::size_t num_vfs, std::string_view name);
+
+/// Convenience: virtualizes the first `count` host slots (all when 0).
+std::vector<VirtualHca> attach_hypervisors(
+    Fabric& fabric, const std::vector<topology::HostSlot>& slots,
+    std::size_t num_vfs = kDefaultVfs, std::size_t count = 0);
+
+}  // namespace ibvs::core

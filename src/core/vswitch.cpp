@@ -1,0 +1,389 @@
+#include "core/vswitch.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::core {
+
+std::string to_string(LidScheme scheme) {
+  return scheme == LidScheme::kPrepopulated ? "prepopulated-lids"
+                                            : "dynamic-lid-assignment";
+}
+
+VSwitchFabric::VSwitchFabric(sm::SubnetManager& sm,
+                             std::vector<VirtualHca> hypervisors,
+                             LidScheme scheme)
+    : sm_(sm), hypervisors_(std::move(hypervisors)), scheme_(scheme) {
+  IBVS_REQUIRE(!hypervisors_.empty(), "at least one hypervisor required");
+  slots_.resize(hypervisors_.size());
+  for (std::size_t h = 0; h < hypervisors_.size(); ++h) {
+    slots_[h].resize(hypervisors_[h].vfs.size());
+  }
+}
+
+sm::SweepReport VSwitchFabric::boot() {
+  IBVS_REQUIRE(!booted_, "already booted");
+  sm::SweepReport report;
+  report.discovery = sm_.discover();
+  report.lids_assigned = sm_.assign_lids();
+  if (scheme_ == LidScheme::kPrepopulated) {
+    // §V-A: initialize *all* VFs with LIDs, used or not. This is what blows
+    // up the initial path computation — and what makes later migrations a
+    // pure swap.
+    for (const auto& hyp : hypervisors_) {
+      for (NodeId vf : hyp.vfs) {
+        sm_.assign_lid(vf, 1);
+        ++report.lids_assigned;
+      }
+    }
+  }
+  sm_.compute_routes();
+  report.path_computation_seconds = sm_.routing_result().compute_seconds;
+  report.distribution = sm_.distribute_lfts();
+  booted_ = true;
+  return report;
+}
+
+Lid VSwitchFabric::pf_lid(std::size_t hypervisor) const {
+  return sm_.fabric().node(hypervisors_[hypervisor].pf).lid();
+}
+
+std::optional<std::size_t> VSwitchFabric::free_vf_on(
+    std::size_t hypervisor) const {
+  IBVS_REQUIRE(hypervisor < hypervisors_.size(), "hypervisor out of range");
+  const auto& slots = slots_[hypervisor];
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].vm == 0) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> VSwitchFabric::find_free_hypervisor(
+    std::optional<std::size_t> exclude) const {
+  for (std::size_t h = 0; h < hypervisors_.size(); ++h) {
+    if (exclude && *exclude == h) continue;
+    if (free_vf_on(h)) return h;
+  }
+  return std::nullopt;
+}
+
+CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
+  IBVS_REQUIRE(booted_, "boot() first");
+  std::size_t h;
+  if (hypervisor) {
+    h = *hypervisor;
+    IBVS_REQUIRE(h < hypervisors_.size(), "hypervisor out of range");
+  } else {
+    const auto found = find_free_hypervisor();
+    IBVS_REQUIRE(found.has_value(), "no free VF in the subnet");
+    h = *found;
+  }
+  const auto vf_idx = free_vf_on(h);
+  IBVS_REQUIRE(vf_idx.has_value(), "no free VF on that hypervisor");
+
+  Fabric& fabric = sm_.fabric();
+  auto& transport = sm_.transport();
+  const VirtualHca& hyp = hypervisors_[h];
+  const NodeId vf = hyp.vfs[*vf_idx];
+
+  CreateReport report;
+  Vm vm;
+  vm.id = next_vm_id_++;
+  vm.hypervisor = h;
+  vm.vf_index = *vf_idx;
+  vm.vguid = fabric.allocate_guid();
+  fabric.node(vf).alias_guid = vm.vguid;
+  transport.send_guid_info(hyp.pf, static_cast<PortNum>(*vf_idx), vm.vguid);
+  ++report.hypervisor_smps;
+
+  if (scheme_ == LidScheme::kPrepopulated) {
+    // The VM inherits the LID already sitting on the VF; paths exist, no
+    // reconfiguration of any kind (§V-A).
+    vm.lid = fabric.node(vf).lid();
+    IBVS_ENSURE(vm.lid.valid(), "prepopulated VF without a LID");
+  } else {
+    // §V-B: next free LID; no path computation — copy the PF's forwarding
+    // entry into every physical switch, one SMP each.
+    vm.lid = sm_.lids().assign_next(fabric, vf, 1);
+    transport.send_vf_lid_assign(hyp.pf, static_cast<PortNum>(*vf_idx),
+                                 vm.lid);
+    ++report.hypervisor_smps;
+
+    const Lid pf = pf_lid(h);
+    const auto& routing = sm_.routing_result();
+    transport.begin_batch();
+    for (routing::SwitchIdx s = 0; s < routing.graph.num_switches(); ++s) {
+      const PortNum pf_port = routing.lfts[s].get(pf);
+      if (routing.lfts[s].get(vm.lid) == pf_port) continue;
+      sm_.update_master_entry(s, vm.lid, pf_port);
+      report.lft_smps += sm_.push_dirty_blocks(s, SmpRouting::kLidRouted);
+    }
+    report.time_us = transport.end_batch();
+    sm_.bump_generation();
+  }
+  sm_.refresh_targets();
+
+  slots_[h][*vf_idx].vm = vm.id;
+  report.vm = VmHandle{vm.id};
+  report.lid = vm.lid;
+  vms_.emplace(vm.id, vm);
+  return report;
+}
+
+void VSwitchFabric::destroy_vm(VmHandle handle) {
+  Vm& vm = vm_mutable(handle);
+  Fabric& fabric = sm_.fabric();
+  const VirtualHca& hyp = hypervisors_[vm.hypervisor];
+  const NodeId vf = hyp.vfs[vm.vf_index];
+  fabric.node(vf).alias_guid = kInvalidGuid;
+  if (scheme_ == LidScheme::kDynamic) {
+    // Release the LID; stale LFT entries are left behind deliberately (they
+    // are overwritten when the LID is reused — scrubbing would cost one SMP
+    // per switch for no functional gain).
+    sm_.lids().release(fabric, vm.lid);
+    sm_.transport().send_vf_lid_assign(hyp.pf,
+                                       static_cast<PortNum>(vm.vf_index),
+                                       kInvalidLid);
+    sm_.refresh_targets();
+  }
+  slots_[vm.hypervisor][vm.vf_index].vm = 0;
+  vms_.erase(handle.id);
+}
+
+MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
+                                          std::size_t dst_hypervisor,
+                                          const MigrationOptions& options) {
+  IBVS_REQUIRE(booted_, "boot() first");
+  Vm& vm = vm_mutable(handle);
+  IBVS_REQUIRE(dst_hypervisor < hypervisors_.size(),
+               "hypervisor out of range");
+  IBVS_REQUIRE(dst_hypervisor != vm.hypervisor,
+               "destination equals source hypervisor");
+  const auto dst_vf_idx = free_vf_on(dst_hypervisor);
+  IBVS_REQUIRE(dst_vf_idx.has_value(), "no free VF on the destination");
+
+  Fabric& fabric = sm_.fabric();
+  auto& transport = sm_.transport();
+  const std::size_t src_hypervisor = vm.hypervisor;
+  const VirtualHca& src = hypervisors_[src_hypervisor];
+  const VirtualHca& dst = hypervisors_[dst_hypervisor];
+  const NodeId vf_src = src.vfs[vm.vf_index];
+  const NodeId vf_dst = dst.vfs[*dst_vf_idx];
+
+  MigrationReport report;
+  report.vm = vm.id;
+  report.src_hypervisor = src_hypervisor;
+  report.dst_hypervisor = dst_hypervisor;
+  report.vm_lid = vm.lid;
+  report.intra_leaf = src.leaf == dst.leaf;
+
+  // ---- Step (a): migrate the IB addresses (§V-C a). One SMP per
+  // participating hypervisor for the LID, one for the vGUID. ----
+  transport.send_vf_lid_assign(src.pf, static_cast<PortNum>(vm.vf_index),
+                               kInvalidLid, options.smp_routing);
+  transport.send_vf_lid_assign(dst.pf, static_cast<PortNum>(*dst_vf_idx),
+                               vm.lid, options.smp_routing);
+  report.reconfig.hypervisor_lid_smps = 2;
+  fabric.node(vf_src).alias_guid = kInvalidGuid;
+  fabric.node(vf_dst).alias_guid = vm.vguid;
+  transport.send_guid_info(dst.pf, static_cast<PortNum>(*dst_vf_idx),
+                           vm.vguid, options.smp_routing);
+  report.reconfig.guid_smps = 1;
+
+  const Lid vm_lid = vm.lid;
+  Lid swapped_lid;  // prepopulated only
+  if (scheme_ == LidScheme::kPrepopulated) {
+    swapped_lid = fabric.node(vf_dst).lid();
+    IBVS_ENSURE(swapped_lid.valid(), "destination VF lost its LID");
+    // Swap the two LIDs' owners; the VM keeps vm_lid at the destination,
+    // the destination VF's old LID moves to the vacated source VF.
+    sm_.lids().move(fabric, vm_lid, vf_dst, 1);
+    sm_.lids().move(fabric, swapped_lid, vf_src, 1);
+  } else {
+    sm_.lids().move(fabric, vm_lid, vf_dst, 1);
+  }
+  report.swapped_lid = swapped_lid;
+  sm_.refresh_targets();
+
+  // ---- Step (b): update the LFTs (§V-C b). ----
+  const auto& routing = sm_.routing_result();
+  const std::size_t s_count = routing.graph.num_switches();
+  report.reconfig.switches_total = s_count;
+
+  // Plan the new entries.
+  last_delta_ = EntryDelta{};
+  last_delta_.old_entry.resize(s_count);
+  last_delta_.new_entry.resize(s_count);
+  EntryDelta swap_delta;  // for the swapped LID, prepopulated only
+  if (scheme_ == LidScheme::kPrepopulated) {
+    swap_delta.old_entry.resize(s_count);
+    swap_delta.new_entry.resize(s_count);
+  }
+  const Lid dst_pf = pf_lid(dst_hypervisor);
+  for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+    const PortNum p_vm = routing.lfts[s].get(vm_lid);
+    last_delta_.old_entry[s] = p_vm;
+    if (scheme_ == LidScheme::kPrepopulated) {
+      // Swap: the VM LID takes the destination VF LID's path and vice
+      // versa, preserving the balancing of the initial routing.
+      const PortNum p_vf = routing.lfts[s].get(swapped_lid);
+      last_delta_.new_entry[s] = p_vf;
+      swap_delta.old_entry[s] = p_vf;
+      swap_delta.new_entry[s] = p_vm;
+    } else {
+      // Copy: the VM LID follows the destination hypervisor's PF.
+      last_delta_.new_entry[s] = routing.lfts[s].get(dst_pf);
+    }
+  }
+
+  // The §VI-D minimal (skyline) sets, always computed for reporting. Each
+  // LID gets its *own* set: a minimal set is a fixpoint of "updated
+  // switches use new entries, the rest keep old ones" for that LID —
+  // applying one LID's new entries outside its own set would create
+  // old/new hybrids the fixpoint never validated (and can loop).
+  const auto vm_attach = sm_.lids().attachment(fabric, vm_lid);
+  IBVS_ENSURE(vm_attach.has_value(), "migrated VM is not attached");
+  const std::vector<routing::SwitchIdx> minimal_vm = minimal_update_set(
+      routing.graph, last_delta_, routing.graph.dense(vm_attach->first),
+      vm_attach->second);
+  std::vector<routing::SwitchIdx> minimal_vf;
+  if (scheme_ == LidScheme::kPrepopulated) {
+    const auto vf_attach = sm_.lids().attachment(fabric, swapped_lid);
+    IBVS_ENSURE(vf_attach.has_value(), "swapped VF LID is not attached");
+    minimal_vf = minimal_update_set(
+        routing.graph, swap_delta, routing.graph.dense(vf_attach->first),
+        vf_attach->second);
+  }
+  std::vector<routing::SwitchIdx> minimal_union;
+  std::set_union(minimal_vm.begin(), minimal_vm.end(), minimal_vf.begin(),
+                 minimal_vf.end(), std::back_inserter(minimal_union));
+  report.minimal_set_size = minimal_union.size();
+
+  // Select the per-LID update sets.
+  std::vector<routing::SwitchIdx> vm_set;
+  std::vector<routing::SwitchIdx> vf_set;
+  if (options.mode == ReconfigMode::kMinimal) {
+    vm_set = minimal_vm;
+    vf_set = minimal_vf;
+  } else {
+    // Algorithm 1: everywhere the entries change. For the swap both LIDs
+    // change on exactly the same switches (entries differ symmetrically).
+    for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+      if (last_delta_.old_entry[s] != last_delta_.new_entry[s]) {
+        vm_set.push_back(s);
+      }
+    }
+    if (scheme_ == LidScheme::kPrepopulated) vf_set = vm_set;
+  }
+  std::vector<routing::SwitchIdx> update_set;
+  std::set_union(vm_set.begin(), vm_set.end(), vf_set.begin(), vf_set.end(),
+                 std::back_inserter(update_set));
+  std::vector<bool> in_vm_set(s_count, false);
+  std::vector<bool> in_vf_set(s_count, false);
+  for (routing::SwitchIdx s : vm_set) in_vm_set[s] = true;
+  for (routing::SwitchIdx s : vf_set) in_vf_set[s] = true;
+
+  // Optional drain pass (§VI-C): drop traffic for the VM LID on every
+  // switch about to change, one SMP each, before the real update.
+  if (options.drain_first && !vm_set.empty()) {
+    transport.begin_batch();
+    for (routing::SwitchIdx s : vm_set) {
+      sm_.update_master_entry(s, vm_lid, kDropPort);
+      report.reconfig.drain_smps +=
+          sm_.push_dirty_blocks(s, options.smp_routing);
+    }
+    report.reconfig.drain_time_us = transport.end_batch();
+  }
+
+  // The real update: 1 SMP per touched block — for a swap that is 1 when
+  // both LIDs share a 64-LID block, else 2 (Fig. 5); for a copy always 1.
+  transport.begin_batch();
+  for (routing::SwitchIdx s : update_set) {
+    if (in_vm_set[s]) {
+      sm_.update_master_entry(s, vm_lid, last_delta_.new_entry[s]);
+    }
+    if (in_vf_set[s]) {
+      sm_.update_master_entry(s, swapped_lid, swap_delta.new_entry[s]);
+    }
+    report.reconfig.lft_smps += sm_.push_dirty_blocks(s, options.smp_routing);
+  }
+  report.reconfig.lft_time_us = transport.end_batch();
+  report.reconfig.switches_updated = update_set.size();
+  sm_.bump_generation();
+
+  // ---- Bookkeeping: reattach on the destination. ----
+  slots_[src_hypervisor][vm.vf_index].vm = 0;
+  slots_[dst_hypervisor][*dst_vf_idx].vm = vm.id;
+  vm.hypervisor = dst_hypervisor;
+  vm.vf_index = *dst_vf_idx;
+  return report;
+}
+
+VSwitchFabric::HotAddReport VSwitchFabric::add_hypervisor(
+    const topology::HostSlot& slot, std::size_t num_vfs,
+    std::string_view name) {
+  IBVS_REQUIRE(booted_, "boot() first");
+  HotAddReport report;
+  report.hypervisor = hypervisors_.size();
+  hypervisors_.push_back(
+      attach_hypervisor(sm_.fabric(), slot, num_vfs, name));
+  slots_.emplace_back(num_vfs);
+  sm_.transport().invalidate_topology();
+
+  // Address the newcomer: PF always; all VFs too under prepopulation.
+  const VirtualHca& hyp = hypervisors_.back();
+  sm_.assign_lid(hyp.pf, 1);
+  ++report.lids_assigned;
+  if (scheme_ == LidScheme::kPrepopulated) {
+    for (NodeId vf : hyp.vfs) {
+      sm_.assign_lid(vf, 1);
+      ++report.lids_assigned;
+    }
+  }
+  // Mirror the PF LID onto the vSwitch (shared, §V-A).
+  sm_.fabric().set_lid(hyp.vswitch, 0,
+                       sm_.fabric().node(hyp.pf).lid());
+
+  // A new attachment point means real path computation — no shortcut.
+  sm_.compute_routes();
+  report.path_computation_seconds = sm_.routing_result().compute_seconds;
+  report.distribution = sm_.distribute_lfts();
+  return report;
+}
+
+sm::SweepReport VSwitchFabric::full_reconfigure() {
+  IBVS_REQUIRE(booted_, "boot() first");
+  sm::SweepReport report;
+  sm_.compute_routes();
+  report.path_computation_seconds = sm_.routing_result().compute_seconds;
+  report.distribution = sm_.distribute_lfts();
+  return report;
+}
+
+const Vm& VSwitchFabric::vm(VmHandle handle) const {
+  const auto it = vms_.find(handle.id);
+  IBVS_REQUIRE(it != vms_.end(), "unknown VM");
+  return it->second;
+}
+
+Vm& VSwitchFabric::vm_mutable(VmHandle handle) {
+  const auto it = vms_.find(handle.id);
+  IBVS_REQUIRE(it != vms_.end(), "unknown VM");
+  return it->second;
+}
+
+std::vector<std::uint32_t> VSwitchFabric::active_vm_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(vms_.size());
+  for (const auto& [id, vm] : vms_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+NodeId VSwitchFabric::vm_node(VmHandle handle) const {
+  const Vm& v = vm(handle);
+  return hypervisors_[v.hypervisor].vfs[v.vf_index];
+}
+
+}  // namespace ibvs::core

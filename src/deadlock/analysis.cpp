@@ -1,0 +1,114 @@
+#include "deadlock/analysis.hpp"
+
+namespace ibvs::deadlock {
+
+void collect_lid_dependencies(const routing::SwitchGraph& graph,
+                              const std::vector<Lft>& lfts, Lid lid,
+                              DependencyDigraph& into) {
+  const std::size_t s_count = graph.num_switches();
+  for (std::size_t v = 0; v < s_count; ++v) {
+    const PortNum out_port = lfts[v].get(lid);
+    if (out_port == kDropPort) continue;
+    const std::uint32_t e_out =
+        graph.edge_of(static_cast<routing::SwitchIdx>(v), out_port);
+    if (e_out == routing::SwitchGraph::kNoEdge) continue;  // local delivery
+    const auto [first, last] =
+        graph.out(static_cast<routing::SwitchIdx>(v));
+    for (const auto* e = first; e != last; ++e) {
+      const routing::SwitchIdx u = e->to;
+      const std::uint32_t eid =
+          static_cast<std::uint32_t>(e - graph.edges.data());
+      const std::uint32_t e_in = graph.reverse_edge[eid];
+      // u funnels into v for this LID iff u's egress is the u->v channel.
+      if (lfts[u].get(lid) == graph.edges[e_in].out_port) {
+        into.add(e_in, e_out);
+      }
+    }
+  }
+}
+
+CdgReport analyze_routing(const routing::RoutingResult& routing) {
+  CdgReport report;
+  const auto& g = routing.graph;
+  std::vector<DependencyDigraph> per_vl;
+  per_vl.reserve(routing.num_vls);
+  for (unsigned vl = 0; vl < routing.num_vls; ++vl) {
+    per_vl.emplace_back(g.num_edges());
+  }
+
+  if (!routing.pair_layer.empty()) {
+    // LASH-style: the layer depends on the source switch, so dependencies
+    // must be collected per (src, dst) pair by walking the path.
+    const std::size_t s_count = g.num_switches();
+    for (const auto& target : g.targets) {
+      if (target.port == 0) continue;  // management traffic rides VL15
+      for (routing::SwitchIdx ss = 0; ss < s_count; ++ss) {
+        if (ss == target.sw) continue;
+        const std::uint8_t layer =
+            routing.pair_layer[static_cast<std::size_t>(ss) * s_count +
+                               target.sw];
+        if (layer == 0xFF || layer >= per_vl.size()) continue;
+        std::uint32_t prev = routing::SwitchGraph::kNoEdge;
+        routing::SwitchIdx x = ss;
+        std::size_t guard = 0;
+        while (x != target.sw && guard++ <= s_count) {
+          const PortNum port = routing.lfts[x].get(target.lid);
+          const std::uint32_t e = g.edge_of(x, port);
+          if (port == kDropPort || e == routing::SwitchGraph::kNoEdge) break;
+          if (prev != routing::SwitchGraph::kNoEdge) {
+            per_vl[layer].add(prev, e);
+          }
+          prev = e;
+          x = g.edges[e].to;
+        }
+      }
+    }
+  } else {
+    // Destination-keyed VLs (minhop/ftree/updn on VL0, DFSSSP's dest_vl).
+    for (const auto& target : g.targets) {
+      if (target.port == 0) continue;  // management traffic rides VL15
+      const unsigned vl =
+          target.lid.value() < routing.dest_vl.size()
+              ? routing.dest_vl[target.lid.value()]
+              : 0;
+      collect_lid_dependencies(g, routing.lfts, target.lid,
+                               per_vl[vl < per_vl.size() ? vl : 0]);
+    }
+  }
+
+  for (unsigned vl = 0; vl < per_vl.size(); ++vl) {
+    VlReport r;
+    r.vl = vl;
+    r.dependencies = per_vl[vl].num_edges();
+    r.cycle = per_vl[vl].find_cycle();
+    r.acyclic = r.cycle.empty();
+    report.per_vl.push_back(std::move(r));
+  }
+  return report;
+}
+
+TransitionReport analyze_transition(const routing::SwitchGraph& graph,
+                                    const std::vector<Lft>& old_lfts,
+                                    const std::vector<Lft>& new_lfts,
+                                    const std::vector<Lid>& affected_lids,
+                                    const std::vector<Lid>& stable_lids) {
+  DependencyDigraph cdg(graph.num_edges());
+  // The stable LIDs contribute their (unchanged) dependencies once; the
+  // affected LIDs contribute dependencies of *both* tables, since any
+  // subset of switches may have been updated at a given instant, and
+  // packets in flight may chain old and new hops.
+  for (Lid lid : stable_lids) {
+    collect_lid_dependencies(graph, new_lfts, lid, cdg);
+  }
+  for (Lid lid : affected_lids) {
+    collect_lid_dependencies(graph, old_lfts, lid, cdg);
+    collect_lid_dependencies(graph, new_lfts, lid, cdg);
+  }
+  TransitionReport report;
+  report.union_dependencies = cdg.num_edges();
+  report.cycle = cdg.find_cycle();
+  report.transient_cycle_possible = !report.cycle.empty();
+  return report;
+}
+
+}  // namespace ibvs::deadlock

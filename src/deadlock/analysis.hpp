@@ -1,0 +1,66 @@
+// Channel-dependency analysis of computed routings (§VI-C).
+//
+// Builds the per-virtual-lane channel dependency graph induced by a routing
+// and reports cycles. Also analyses the *transition* state of a live
+// migration: while switches are being reconfigured one by one, the old and
+// the new forwarding entries for the migrated LID coexist, and — as the
+// paper notes — the combination of two individually deadlock-free routing
+// functions need not be deadlock free (Duato's transition condition). The
+// paper's position is that such transient cycles are tolerated and resolved
+// by IB timeouts; transition_analysis() makes them observable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deadlock/digraph.hpp"
+#include "routing/engine.hpp"
+
+namespace ibvs::deadlock {
+
+struct VlReport {
+  unsigned vl = 0;
+  std::size_t dependencies = 0;
+  bool acyclic = true;
+  /// Channels (edge ids of the routing's SwitchGraph) forming one cycle.
+  std::vector<std::uint32_t> cycle;
+};
+
+struct CdgReport {
+  std::vector<VlReport> per_vl;
+  [[nodiscard]] bool deadlock_free() const {
+    for (const auto& vl : per_vl) {
+      if (!vl.acyclic) return false;
+    }
+    return true;
+  }
+};
+
+/// Builds the CDG of every VL used by `routing` and checks acyclicity.
+CdgReport analyze_routing(const routing::RoutingResult& routing);
+
+/// Dependencies induced on VL `vl` by a single LID's routes under the given
+/// LFT set (helper shared by analyze_routing and transition analysis).
+void collect_lid_dependencies(const routing::SwitchGraph& graph,
+                              const std::vector<Lft>& lfts, Lid lid,
+                              DependencyDigraph& into);
+
+/// Transition analysis of a migration: the union CDG of the old and new
+/// tables for the affected LIDs (typically the migrated VM's LID and, for
+/// the prepopulated scheme, the swapped VF LID), overlaid on the stable
+/// dependencies of all other LIDs. Reports whether a transient cycle can
+/// exist while the switch updates are in flight.
+struct TransitionReport {
+  bool transient_cycle_possible = false;
+  std::vector<std::uint32_t> cycle;  ///< channel ids, empty when clean
+  std::size_t union_dependencies = 0;
+};
+
+TransitionReport analyze_transition(const routing::SwitchGraph& graph,
+                                    const std::vector<Lft>& old_lfts,
+                                    const std::vector<Lft>& new_lfts,
+                                    const std::vector<Lid>& affected_lids,
+                                    const std::vector<Lid>& stable_lids);
+
+}  // namespace ibvs::deadlock

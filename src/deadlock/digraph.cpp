@@ -1,0 +1,53 @@
+#include "deadlock/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::deadlock {
+
+void DependencyDigraph::add(std::uint32_t from, std::uint32_t to) {
+  IBVS_REQUIRE(from < out_.size() && to < out_.size(),
+               "node id out of range");
+  auto& out = out_[from];
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  ++edges_;
+}
+
+std::vector<std::uint32_t> DependencyDigraph::find_cycle() const {
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(out_.size(), kWhite);
+  std::vector<std::uint32_t> parent(out_.size(), ~0u);
+  std::vector<std::pair<std::uint32_t, std::size_t>> frames;
+
+  for (std::uint32_t root = 0; root < out_.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    frames.clear();
+    frames.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!frames.empty()) {
+      auto& [u, cursor] = frames.back();
+      if (cursor < out_[u].size()) {
+        const std::uint32_t v = out_[u][cursor++];
+        if (color[v] == kGray) {
+          std::vector<std::uint32_t> cycle{v};
+          for (std::uint32_t x = u; x != v; x = parent[x]) cycle.push_back(x);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          parent[v] = u;
+          frames.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = kBlack;
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ibvs::deadlock

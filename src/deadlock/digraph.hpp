@@ -1,0 +1,30 @@
+// Permissive dependency digraph for *analysis* (cycles are findings here,
+// not errors — contrast with routing::ChannelDepGraph, which refuses them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ibvs::deadlock {
+
+class DependencyDigraph {
+ public:
+  explicit DependencyDigraph(std::size_t nodes) : out_(nodes) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_; }
+
+  void add(std::uint32_t from, std::uint32_t to);
+
+  [[nodiscard]] bool acyclic() const { return find_cycle().empty(); }
+
+  /// One cycle as a node sequence (first node repeats implicitly); empty if
+  /// the graph is acyclic.
+  [[nodiscard]] std::vector<std::uint32_t> find_cycle() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace ibvs::deadlock

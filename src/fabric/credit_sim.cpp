@@ -1,0 +1,211 @@
+#include "fabric/credit_sim.hpp"
+
+#include <deque>
+
+#include "util/expect.hpp"
+
+namespace ibvs::fabric {
+
+namespace {
+
+struct Packet {
+  Lid dst;
+  std::uint8_t vl = 0;
+  std::uint64_t blocked_since = 0;  ///< step the packet last moved
+};
+
+/// One directed link's receive buffers, one FIFO per VL.
+struct Channel {
+  NodeId to = kInvalidNode;      ///< receiving node
+  PortNum to_port = 0;           ///< ingress port at the receiver
+  std::vector<std::deque<Packet>> vls;
+};
+
+bool ca_owns_lid(const Node& node, Lid lid) {
+  for (PortNum p = 1; p <= node.num_ports(); ++p) {
+    if (node.ports[p].owns(lid)) return true;
+  }
+  return false;
+}
+
+class Simulator {
+ public:
+  Simulator(const Fabric& fabric, const CreditSimConfig& config)
+      : fabric_(fabric), config_(config) {
+    channel_of_.assign(fabric.size() * 256, ~0u);
+    for (NodeId id = 0; id < fabric.size(); ++id) {
+      const Node& n = fabric.node(id);
+      for (PortNum p = 1; p <= n.num_ports(); ++p) {
+        const Port& port = n.ports[p];
+        if (!port.connected()) continue;
+        Channel ch;
+        ch.to = port.peer;
+        ch.to_port = port.peer_port;
+        ch.vls.resize(config.num_vls);
+        channel_of_[id * 256 + p] = static_cast<std::uint32_t>(
+            channels_.size());
+        channels_.push_back(std::move(ch));
+      }
+    }
+  }
+
+  CreditSimReport run(const std::vector<FlowSpec>& flows) {
+    struct Source {
+      FlowSpec spec;
+      std::size_t sent = 0;
+      std::uint32_t first_channel = ~0u;
+    };
+    std::vector<Source> sources;
+    for (const auto& flow : flows) {
+      IBVS_REQUIRE(fabric_.node(flow.src).is_ca(),
+                   "flows originate at CA endpoints");
+      IBVS_REQUIRE(flow.vl < config_.num_vls, "flow VL out of range");
+      Source s{flow, 0, channel_of_[flow.src * 256 + 1]};
+      IBVS_REQUIRE(s.first_channel != ~0u, "source is not cabled");
+      sources.push_back(s);
+      report_.injected += flow.packets;
+    }
+
+    std::size_t in_flight = 0;
+    for (std::uint64_t step = 0; step < config_.max_steps; ++step) {
+      report_.steps = step + 1;
+      if (config_.on_step) config_.on_step(step);
+
+      bool moved = false;
+
+      // 1. Inject where the first link has a free slot.
+      for (auto& src : sources) {
+        if (src.sent == src.spec.packets) continue;
+        auto& fifo = channels_[src.first_channel].vls[src.spec.vl];
+        if (fifo.size() >= config_.credits_per_channel) continue;
+        fifo.push_back(Packet{src.spec.dst, src.spec.vl, step});
+        ++src.sent;
+        ++in_flight;
+        moved = true;
+      }
+
+      // 2. Advance head-of-line packets (one per channel FIFO per step).
+      for (auto& channel : channels_) {
+        for (auto& fifo : channel.vls) {
+          if (fifo.empty()) continue;
+          Packet& packet = fifo.front();
+          const Node& here = fabric_.node(channel.to);
+
+          if (here.is_ca()) {
+            // Arrived at an endpoint.
+            if (ca_owns_lid(here, packet.dst)) {
+              ++report_.delivered;
+            } else {
+              ++report_.dropped_unrouted;
+            }
+            fifo.pop_front();
+            --in_flight;
+            moved = true;
+            continue;
+          }
+
+          const std::uint32_t next = next_channel(here, channel, packet);
+          if (next == kDeliveredHere) {
+            ++report_.delivered;
+            fifo.pop_front();
+            --in_flight;
+            moved = true;
+            continue;
+          }
+          if (next == kDropChannel) {
+            ++report_.dropped_unrouted;
+            fifo.pop_front();
+            --in_flight;
+            moved = true;
+            continue;
+          }
+          auto& next_fifo = channels_[next].vls[packet.vl];
+          if (next_fifo.size() < config_.credits_per_channel) {
+            packet.blocked_since = step;
+            next_fifo.push_back(packet);
+            fifo.pop_front();
+            moved = true;
+            continue;
+          }
+          // Blocked. The IB timeout eventually discards it.
+          if (config_.timeout_steps > 0 &&
+              step - packet.blocked_since >= config_.timeout_steps) {
+            ++report_.dropped_timeout;
+            fifo.pop_front();
+            --in_flight;
+            moved = true;
+          }
+        }
+      }
+
+      if (in_flight == 0) {
+        bool pending = false;
+        for (const auto& src : sources) {
+          if (src.sent < src.spec.packets) pending = true;
+        }
+        if (!pending) return report_;  // drained
+      }
+      if (!moved && config_.timeout_steps == 0) {
+        // Nothing moved and no timeout can ever fire: permanently wedged.
+        report_.deadlocked = true;
+        report_.stuck = in_flight;
+        return report_;
+      }
+      // With timeouts enabled a motionless step just ages the blocked
+      // packets; the drop will unwedge the cycle.
+    }
+    report_.exhausted = true;
+    report_.stuck = in_flight;
+    return report_;
+  }
+
+ private:
+  static constexpr std::uint32_t kDropChannel = ~0u;
+  static constexpr std::uint32_t kDeliveredHere = ~0u - 1;
+
+  std::uint32_t next_channel(const Node& here, const Channel& arrived,
+                             const Packet& packet) const {
+    const NodeId here_id = arrived.to;
+    if (here.is_vswitch()) {
+      // Local endpoint owning the LID, else the uplink.
+      for (PortNum p = 1; p <= here.num_ports(); ++p) {
+        const Port& port = here.ports[p];
+        if (p == arrived.to_port || !port.connected()) continue;
+        const Node& peer = fabric_.node(port.peer);
+        if (peer.is_ca() && ca_owns_lid(peer, packet.dst)) {
+          return channel_of_[here_id * 256 + p];
+        }
+      }
+      const auto uplink = fabric_.vswitch_uplink(here_id);
+      if (!uplink || *uplink == arrived.to_port) return kDropChannel;
+      return channel_of_[here_id * 256 + *uplink];
+    }
+    // Physical switch. Its own LID terminates at the management port.
+    if (here.lid() == packet.dst) return kDeliveredHere;
+    const PortNum out = here.lft.get(packet.dst);
+    if (out == kDropPort || out == 0 || out > here.num_ports()) {
+      return kDropChannel;
+    }
+    const std::uint32_t ch = channel_of_[here_id * 256 + out];
+    return ch == ~0u ? kDropChannel : ch;
+  }
+
+  const Fabric& fabric_;
+  const CreditSimConfig& config_;
+  std::vector<Channel> channels_;
+  std::vector<std::uint32_t> channel_of_;  ///< (node, port) -> channel
+  CreditSimReport report_;
+};
+
+}  // namespace
+
+CreditSimReport simulate_flows(const Fabric& fabric,
+                               const std::vector<FlowSpec>& flows,
+                               const CreditSimConfig& config) {
+  IBVS_REQUIRE(config.credits_per_channel > 0, "need at least one credit");
+  IBVS_REQUIRE(config.num_vls >= 1, "need at least one VL");
+  Simulator sim(fabric, config);
+  return sim.run(flows);
+}
+
+}  // namespace ibvs::fabric

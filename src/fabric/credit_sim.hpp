@@ -1,0 +1,68 @@
+// Credit-based flow simulation: making deadlock (and its resolution)
+// observable, not just predictable.
+//
+// The deadlock analyzer (src/deadlock) proves properties about channel
+// dependency graphs; this module *runs* traffic. Channels (directed links)
+// have a finite number of credits (buffer slots) per virtual lane; packets
+// occupy a slot until the next hop has a free slot. A routing whose CDG has
+// a cycle will, under enough load, wedge into a state where no packet can
+// move — the deadlock of §VI-C. InfiniBand's answer in the paper ("resolved
+// by IB timeouts") is modeled too: with a timeout configured, head-of-line
+// packets that have waited too long are dropped, credits free up, and the
+// fabric drains.
+//
+// The simulator walks the *installed* (hardware) LFTs, so tables can be
+// mutated mid-flight (via the on_step hook) to reproduce the transient
+// old/new coexistence of a live migration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ib/fabric.hpp"
+
+namespace ibvs::fabric {
+
+struct FlowSpec {
+  NodeId src = kInvalidNode;  ///< source CA endpoint
+  Lid dst;                    ///< destination LID
+  std::size_t packets = 1;    ///< packets to inject
+  std::uint8_t vl = 0;        ///< virtual lane (from the routing's layering)
+};
+
+struct CreditSimConfig {
+  std::size_t credits_per_channel = 2;  ///< buffer slots per (channel, VL)
+  unsigned num_vls = 1;
+  /// Head-of-line packets blocked for this many steps are dropped (the IB
+  /// timeout). 0 disables timeouts: a wedged fabric reports deadlock.
+  std::uint64_t timeout_steps = 0;
+  std::uint64_t max_steps = 100000;
+  /// Invoked at the start of every step; may mutate installed LFTs (e.g.
+  /// apply a reconfiguration mid-flight).
+  std::function<void(std::uint64_t step)> on_step;
+};
+
+struct CreditSimReport {
+  bool deadlocked = false;   ///< wedged with timeouts disabled
+  bool exhausted = false;    ///< hit max_steps without settling
+  std::uint64_t steps = 0;
+  std::size_t injected = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped_timeout = 0;
+  std::size_t dropped_unrouted = 0;  ///< hit a drop entry / wrong delivery
+  std::size_t stuck = 0;             ///< packets still in-network at the end
+
+  [[nodiscard]] bool all_delivered() const noexcept {
+    return !deadlocked && !exhausted && stuck == 0 &&
+           dropped_timeout == 0 && dropped_unrouted == 0 &&
+           delivered == injected;
+  }
+};
+
+/// Runs the flows to completion (or deadlock / step budget).
+CreditSimReport simulate_flows(const Fabric& fabric,
+                               const std::vector<FlowSpec>& flows,
+                               const CreditSimConfig& config = {});
+
+}  // namespace ibvs::fabric

@@ -1,0 +1,39 @@
+// Timing model for subnet management traffic (§VI-A/VI-B).
+//
+// The paper's cost equations use two per-SMP terms:
+//   k — the time an SMP needs to traverse the network to its switch
+//       (switches closer to the SM are reached faster, so k is an average;
+//       here it is derived from actual hop counts times a per-hop latency),
+//   r — the extra latency of *directed routing*, where every hop must
+//       process and rewrite the SMP header (hop pointer / reverse path),
+// plus the observation that OpenSM pipelines LFT block updates, dividing
+// the serial sum by the SM's pipelining capability.
+#pragma once
+
+#include <cstdint>
+
+namespace ibvs::fabric {
+
+struct TimingModel {
+  /// Wire+switching latency per hop, microseconds (the per-hop share of k).
+  double hop_latency_us = 1.0;
+  /// Extra per-hop processing for directed-routed SMPs (the share of r).
+  double directed_hop_overhead_us = 4.0;
+  /// SM-side processing gap between consecutive SMP issues.
+  double sm_issue_gap_us = 0.5;
+  /// Outstanding SMPs the SM keeps in flight (1 = fully serial, matching
+  /// the "assuming no pipelining" form of eq. (2)).
+  unsigned pipeline_depth = 1;
+  /// Endpoint response turnaround (Get/Set ack processing at the target).
+  double target_processing_us = 2.0;
+
+  /// One-way latency of an SMP over `hops` hops.
+  [[nodiscard]] double smp_latency_us(std::size_t hops,
+                                      bool directed) const noexcept {
+    const double per_hop =
+        hop_latency_us + (directed ? directed_hop_overhead_us : 0.0);
+    return static_cast<double>(hops) * per_hop + target_processing_us;
+  }
+};
+
+}  // namespace ibvs::fabric

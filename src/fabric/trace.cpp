@@ -1,0 +1,168 @@
+#include "fabric/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace ibvs::fabric {
+
+std::string to_string(TraceStatus status) {
+  switch (status) {
+    case TraceStatus::kDelivered:
+      return "delivered";
+    case TraceStatus::kDropped:
+      return "dropped";
+    case TraceStatus::kLoop:
+      return "loop";
+    case TraceStatus::kNoRoute:
+      return "no-route";
+    case TraceStatus::kWrongDelivery:
+      return "wrong-delivery";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Does any port of CA `node` own `lid` (including LMC aliases)?
+bool ca_owns_lid(const Node& node, Lid lid) {
+  for (PortNum p = 1; p <= node.num_ports(); ++p) {
+    if (node.ports[p].owns(lid)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TraceResult trace_unicast(const Fabric& fabric, NodeId src, Lid dest_lid) {
+  TraceResult result;
+  IBVS_REQUIRE(fabric.node(src).is_ca(), "trace starts at a CA endpoint");
+  IBVS_REQUIRE(dest_lid.valid(), "destination LID must be valid");
+
+  result.path.push_back(src);
+  if (ca_owns_lid(fabric.node(src), dest_lid)) {
+    result.status = TraceStatus::kDelivered;  // loopback
+    return result;
+  }
+
+  auto hop = fabric.peer(src, 1);
+  const std::size_t hop_budget = fabric.size() + 2;
+  while (hop) {
+    if (++result.hops > hop_budget) {
+      result.status = TraceStatus::kLoop;
+      return result;
+    }
+    const auto [here, in_port] = *hop;
+    result.path.push_back(here);
+    const Node& n = fabric.node(here);
+
+    if (n.is_ca()) {
+      result.status = ca_owns_lid(n, dest_lid) ? TraceStatus::kDelivered
+                                               : TraceStatus::kWrongDelivery;
+      return result;
+    }
+
+    if (n.is_vswitch()) {
+      // The vSwitch's own LID (shared with the PF) also terminates here —
+      // but in practice it belongs to the PF, found below.
+      PortNum out = 0;
+      for (PortNum p = 1; p <= n.num_ports() && out == 0; ++p) {
+        const Port& port = n.ports[p];
+        if (p == in_port || !port.connected()) continue;
+        const Node& peer = fabric.node(port.peer);
+        if (peer.is_ca() && ca_owns_lid(peer, dest_lid)) out = p;
+      }
+      if (out == 0) {
+        const auto uplink = fabric.vswitch_uplink(here);
+        if (!uplink || *uplink == in_port) {
+          // Arrived from the uplink and nobody local owns the LID.
+          result.status = TraceStatus::kDropped;
+          return result;
+        }
+        out = *uplink;
+      }
+      hop = fabric.peer(here, out);
+      continue;
+    }
+
+    // Physical switch: hardware LFT.
+    if (n.lid() == dest_lid) {
+      result.status = TraceStatus::kDelivered;
+      return result;
+    }
+    const PortNum out = n.lft.get(dest_lid);
+    if (out == kDropPort) {
+      result.status = TraceStatus::kDropped;
+      return result;
+    }
+    if (out == 0 || out > n.num_ports()) {
+      // Port 0 without owning the LID (or a bogus port) drops the packet.
+      result.status = TraceStatus::kDropped;
+      return result;
+    }
+    hop = fabric.peer(here, out);
+  }
+  result.status = TraceStatus::kNoRoute;
+  return result;
+}
+
+std::vector<NodeId> trace_multicast(const Fabric& fabric, NodeId src,
+                                    Lid mlid) {
+  IBVS_REQUIRE(fabric.node(src).is_ca(), "trace starts at a CA endpoint");
+  IBVS_REQUIRE(is_multicast(mlid), "destination must be a multicast LID");
+
+  std::vector<NodeId> delivered;
+  // Work items: (node, ingress port). Dedup on the pair to stay loop-safe
+  // even against a corrupted (cyclic) tree.
+  std::set<std::pair<NodeId, PortNum>> seen;
+  std::vector<std::pair<NodeId, PortNum>> queue;
+
+  const auto push = [&](NodeId node, PortNum in_port) {
+    if (seen.emplace(node, in_port).second) queue.emplace_back(node, in_port);
+  };
+  const auto first = fabric.peer(src, 1);
+  if (!first) return delivered;
+  push(first->first, first->second);
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto [here, in_port] = queue[head];
+    const Node& n = fabric.node(here);
+    if (n.is_ca()) {
+      delivered.push_back(here);
+      continue;
+    }
+    if (n.is_vswitch()) {
+      // A vSwitch replicates to every connected port except the ingress:
+      // local endpoints and the uplink alike. The vHCAs filter copies by
+      // membership (not modeled here).
+      for (PortNum p = 1; p <= n.num_ports(); ++p) {
+        if (p == in_port || !n.ports[p].connected()) continue;
+        const auto hop = fabric.peer(here, p);
+        if (hop) push(hop->first, hop->second);
+      }
+      continue;
+    }
+    // Physical switch: MFT port mask minus the ingress.
+    const PortMask mask = n.mft.get(mlid);
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      if (p == in_port || !mask.test(p) || !n.ports[p].connected()) continue;
+      const auto hop = fabric.peer(here, p);
+      if (hop) push(hop->first, hop->second);
+    }
+  }
+  std::sort(delivered.begin(), delivered.end());
+  delivered.erase(std::unique(delivered.begin(), delivered.end()),
+                  delivered.end());
+  return delivered;
+}
+
+bool all_reach(const Fabric& fabric, const std::vector<NodeId>& sources,
+               Lid dest_lid) {
+  for (NodeId src : sources) {
+    if (!trace_unicast(fabric, src, dest_lid).delivered()) return false;
+  }
+  return true;
+}
+
+}  // namespace ibvs::fabric

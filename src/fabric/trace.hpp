@@ -1,0 +1,55 @@
+// Data-path traversal over the *installed* forwarding state.
+//
+// Follows a unicast packet from a source endpoint to a destination LID using
+// the hardware LFTs of physical switches and the functional forwarding of
+// vSwitches (local endpoint if the LID is attached, uplink otherwise). This
+// is how the tests observe connectivity: before, during, and after a
+// reconfiguration — e.g. proving that a migrated VM is reachable again only
+// once the reconfigurator's SMPs have landed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ib/fabric.hpp"
+
+namespace ibvs::fabric {
+
+enum class TraceStatus {
+  kDelivered,
+  kDropped,       ///< hit an unrouted LFT entry or the drop port 255
+  kLoop,          ///< exceeded the hop budget: forwarding loop
+  kNoRoute,       ///< left the cabled network (dangling port)
+  kWrongDelivery  ///< arrived at an endpoint that does not own the LID
+};
+
+struct TraceResult {
+  TraceStatus status = TraceStatus::kNoRoute;
+  std::vector<NodeId> path;  ///< nodes visited, source first
+  std::size_t hops = 0;
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return status == TraceStatus::kDelivered;
+  }
+};
+
+[[nodiscard]] std::string to_string(TraceStatus status);
+
+/// Traces from CA endpoint `src` (port 1) to `dest_lid`.
+TraceResult trace_unicast(const Fabric& fabric, NodeId src, Lid dest_lid);
+
+/// Convenience: do all of `sources` currently reach `dest_lid`?
+bool all_reach(const Fabric& fabric, const std::vector<NodeId>& sources,
+               Lid dest_lid);
+
+/// Multicast replication trace: injects one packet for `mlid` at CA `src`
+/// and follows the installed MFT port masks (physical switches) and the
+/// vSwitch replication (all local endpoints + uplink, minus ingress).
+/// Returns the CA endpoints that received a copy, sorted. Note that a vHCA
+/// filters by group membership in reality; endpoints behind the same
+/// vSwitch as a member may appear here although their HCA would discard
+/// the copy.
+std::vector<NodeId> trace_multicast(const Fabric& fabric, NodeId src,
+                                    Lid mlid);
+
+}  // namespace ibvs::fabric

@@ -1,0 +1,169 @@
+#include "fabric/transport.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::fabric {
+
+SmpTransport::SmpTransport(Fabric& fabric, NodeId sm_node, TimingModel timing)
+    : fabric_(fabric), sm_node_(sm_node), timing_(timing) {}
+
+void SmpTransport::recompute_hops() {
+  hops_cache_.assign(fabric_.size(), ~0u);
+  std::vector<NodeId> queue;
+  hops_cache_[sm_node_] = 0;
+  queue.push_back(sm_node_);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const Node& n = fabric_.node(u);
+    // CAs other than the SM host do not forward traffic.
+    if (n.is_ca() && u != sm_node_) continue;
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      const Port& port = n.ports[p];
+      if (!port.connected() || hops_cache_[port.peer] != ~0u) continue;
+      hops_cache_[port.peer] = hops_cache_[u] + 1;
+      queue.push_back(port.peer);
+    }
+  }
+  hops_valid_ = true;
+}
+
+std::optional<std::size_t> SmpTransport::hops_to(NodeId target) {
+  if (!hops_valid_) recompute_hops();
+  IBVS_REQUIRE(target < fabric_.size(), "target out of range");
+  if (hops_cache_[target] == ~0u) return std::nullopt;
+  return hops_cache_[target];
+}
+
+SendOutcome SmpTransport::account(const Smp& smp,
+                                  std::optional<std::size_t> hops) {
+  counters_.record(smp);
+  SendOutcome outcome;
+  if (!hops) return outcome;  // undeliverable: counted, zero progress
+  outcome.delivered = true;
+  outcome.hops = *hops;
+  outcome.latency_us =
+      timing_.smp_latency_us(*hops, smp.routing == SmpRouting::kDirected);
+
+  if (in_batch_) {
+    // Window of `pipeline_depth` outstanding SMPs: a new SMP is issued
+    // `sm_issue_gap_us` after the previous issue, but no earlier than the
+    // completion of the SMP occupying its window slot.
+    double issue = batch_clock_us_;
+    if (inflight_.size() == timing_.pipeline_depth) {
+      issue = std::max(issue, inflight_[inflight_next_]);
+    }
+    const double done = issue + outcome.latency_us;
+    if (inflight_.size() < timing_.pipeline_depth) {
+      inflight_.push_back(done);
+    } else {
+      inflight_[inflight_next_] = done;
+      inflight_next_ = (inflight_next_ + 1) % inflight_.size();
+    }
+    batch_clock_us_ = issue + timing_.sm_issue_gap_us;
+    batch_makespan_us_ = std::max(batch_makespan_us_, done);
+  } else {
+    total_us_ += outcome.latency_us + timing_.sm_issue_gap_us;
+  }
+  return outcome;
+}
+
+SendOutcome SmpTransport::send_lft_block(NodeId target_switch,
+                                         std::uint32_t block,
+                                         std::span<const PortNum> data,
+                                         SmpRouting routing) {
+  Node& sw = fabric_.node(target_switch);
+  IBVS_REQUIRE(sw.is_physical_switch(),
+               "LFT SMPs target physical switches");
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kLinearFwdTable;
+  smp.routing = routing;
+  smp.target = target_switch;
+  smp.block = block;
+  const auto outcome = account(smp, hops_to(target_switch));
+  if (outcome.delivered) sw.lft.set_block(block, data);
+  return outcome;
+}
+
+SendOutcome SmpTransport::send_mft_slice(NodeId target_switch,
+                                         std::uint32_t block,
+                                         std::uint8_t position,
+                                         SmpRouting routing) {
+  IBVS_REQUIRE(fabric_.node(target_switch).is_physical_switch(),
+               "MFT SMPs target physical switches");
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kMulticastFwdTable;
+  smp.routing = routing;
+  smp.target = target_switch;
+  smp.block = block;
+  smp.target_port = position;
+  return account(smp, hops_to(target_switch));
+}
+
+SendOutcome SmpTransport::send_vf_lid_assign(NodeId hypervisor_endpoint,
+                                             PortNum vf_port, Lid lid,
+                                             SmpRouting routing) {
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kVSwitchLidAssign;
+  smp.routing = routing;
+  smp.target = hypervisor_endpoint;
+  smp.target_port = vf_port;
+  (void)lid;  // the LID value itself is applied by the caller via LidMap
+  return account(smp, hops_to(hypervisor_endpoint));
+}
+
+SendOutcome SmpTransport::send_guid_info(NodeId endpoint, PortNum port,
+                                         Guid vguid, SmpRouting routing) {
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kGuidInfo;
+  smp.routing = routing;
+  smp.target = endpoint;
+  smp.target_port = port;
+  (void)vguid;
+  return account(smp, hops_to(endpoint));
+}
+
+SendOutcome SmpTransport::send_port_info_set(NodeId node, PortNum port,
+                                             SmpRouting routing) {
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kPortInfo;
+  smp.routing = routing;
+  smp.target = node;
+  smp.target_port = port;
+  return account(smp, hops_to(node));
+}
+
+SendOutcome SmpTransport::send_discovery_get(NodeId node,
+                                             SmpAttribute attribute,
+                                             std::size_t hops_override) {
+  Smp smp;
+  smp.method = SmpMethod::kGet;
+  smp.attribute = attribute;
+  smp.routing = SmpRouting::kDirected;  // discovery precedes LFTs
+  smp.target = node;
+  return account(smp, hops_override);
+}
+
+void SmpTransport::begin_batch() {
+  IBVS_REQUIRE(!in_batch_, "batch already open");
+  in_batch_ = true;
+  batch_clock_us_ = 0.0;
+  batch_makespan_us_ = 0.0;
+  inflight_.clear();
+  inflight_next_ = 0;
+}
+
+double SmpTransport::end_batch() {
+  IBVS_REQUIRE(in_batch_, "no batch open");
+  in_batch_ = false;
+  total_us_ += batch_makespan_us_;
+  return batch_makespan_us_;
+}
+
+}  // namespace ibvs::fabric

@@ -1,0 +1,113 @@
+// SMP transport simulator (the ibsim role).
+//
+// Carries management packets from the SM node to switches and endpoints,
+// accounting for every SMP (counts feed Table I) and for its latency under
+// the TimingModel (feeds the reconfiguration-time benches). Set-LFT SMPs
+// actually install the block into the target switch's hardware table, so the
+// simulated fabric's data path (see trace.hpp) reflects exactly what an SM
+// has distributed — including the transient states mid-reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fabric/timing.hpp"
+#include "ib/fabric.hpp"
+#include "ib/smp.hpp"
+
+namespace ibvs::fabric {
+
+/// Result of one send.
+struct SendOutcome {
+  bool delivered = false;
+  std::size_t hops = 0;
+  double latency_us = 0.0;
+};
+
+class SmpTransport {
+ public:
+  /// `sm_node` is the CA endpoint (or switch) hosting the subnet manager.
+  SmpTransport(Fabric& fabric, NodeId sm_node, TimingModel timing = {});
+
+  [[nodiscard]] NodeId sm_node() const noexcept { return sm_node_; }
+  [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+  void set_timing(const TimingModel& timing) noexcept { timing_ = timing; }
+
+  /// Must be called after cabling changes so hop counts are recomputed.
+  void invalidate_topology() noexcept { hops_valid_ = false; }
+
+  /// Hop count from the SM node to `target` (through switches/vSwitches).
+  [[nodiscard]] std::optional<std::size_t> hops_to(NodeId target);
+
+  // --- Typed sends. Every call accounts one SMP. ---
+
+  /// Installs one LFT block on a physical switch.
+  SendOutcome send_lft_block(NodeId target_switch, std::uint32_t block,
+                             std::span<const PortNum> data,
+                             SmpRouting routing = SmpRouting::kDirected);
+
+  /// Accounts one MFT (block, position) write on a physical switch. The
+  /// multicast manager installs the masks afterwards; this models the MAD
+  /// traffic and its latency.
+  SendOutcome send_mft_slice(NodeId target_switch, std::uint32_t block,
+                             std::uint8_t position,
+                             SmpRouting routing = SmpRouting::kDirected);
+
+  /// Sets/unsets the LID of a VF at a hypervisor (§V-C step a).
+  SendOutcome send_vf_lid_assign(NodeId hypervisor_endpoint, PortNum vf_port,
+                                 Lid lid,
+                                 SmpRouting routing = SmpRouting::kDirected);
+
+  /// Programs a vGUID (alias GUID) on an HCA port.
+  SendOutcome send_guid_info(NodeId endpoint, PortNum port, Guid vguid,
+                             SmpRouting routing = SmpRouting::kDirected);
+
+  /// Assigns a LID to a port via PortInfo (LID programming during sweep).
+  SendOutcome send_port_info_set(NodeId node, PortNum port,
+                                 SmpRouting routing = SmpRouting::kDirected);
+
+  /// Discovery Get (NodeInfo / PortInfo / SwitchInfo).
+  SendOutcome send_discovery_get(NodeId node, SmpAttribute attribute,
+                                 std::size_t hops_override);
+
+  // --- Batching: models OpenSM's pipelined LFT distribution. ---
+  /// Begins a batch; subsequent sends contribute to the batch completion
+  /// time computed with `pipeline_depth` outstanding SMPs.
+  void begin_batch();
+  /// Ends the batch and returns its makespan in microseconds.
+  double end_batch();
+
+  [[nodiscard]] const SmpCounters& counters() const noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_ = {}; }
+
+  /// Total simulated microseconds spent in sends (batch-aware).
+  [[nodiscard]] double total_time_us() const noexcept { return total_us_; }
+  void reset_time() noexcept { total_us_ = 0.0; }
+
+ private:
+  SendOutcome account(const Smp& smp, std::optional<std::size_t> hops);
+  void recompute_hops();
+
+  Fabric& fabric_;
+  NodeId sm_node_;
+  TimingModel timing_;
+  SmpCounters counters_;
+  double total_us_ = 0.0;
+
+  // Hop cache (BFS from the SM node over all cabled nodes).
+  std::vector<std::uint32_t> hops_cache_;
+  bool hops_valid_ = false;
+
+  // Batch state: completion times of the in-flight window.
+  bool in_batch_ = false;
+  double batch_clock_us_ = 0.0;    ///< next issue time
+  double batch_makespan_us_ = 0.0;
+  std::vector<double> inflight_;   ///< completion times, ring buffer
+  std::size_t inflight_next_ = 0;
+};
+
+}  // namespace ibvs::fabric

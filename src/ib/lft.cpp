@@ -1,0 +1,100 @@
+#include "ib/lft.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs {
+
+Lft::Lft(Lid top_lid) { ensure_capacity(top_lid); }
+
+void Lft::ensure_capacity(Lid top_lid) {
+  const std::size_t needed_blocks = lft_blocks_for(top_lid);
+  if (needed_blocks * kLftBlockSize <= entries_.size()) return;
+  entries_.resize(needed_blocks * kLftBlockSize, kDropPort);
+  dirty_.resize(needed_blocks, false);
+}
+
+void Lft::set(Lid lid, PortNum port) {
+  IBVS_REQUIRE(lid.valid() && lid <= kTopmostUnicastLid,
+               "LFT entries exist only for unicast LIDs");
+  ensure_capacity(lid);
+  PortNum& entry = entries_[lid.value()];
+  if (entry == port) return;
+  entry = port;
+  dirty_[lft_block_of(lid)] = true;
+}
+
+std::span<const PortNum> Lft::block(std::size_t block_index) const {
+  IBVS_REQUIRE(block_index < block_count(), "block out of range");
+  return {entries_.data() + block_index * kLftBlockSize, kLftBlockSize};
+}
+
+void Lft::set_block(std::size_t block_index, std::span<const PortNum> data) {
+  IBVS_REQUIRE(data.size() == kLftBlockSize, "LFT block is 64 entries");
+  const Lid top{static_cast<std::uint16_t>(
+      std::min<std::size_t>((block_index + 1) * kLftBlockSize - 1,
+                            kTopmostUnicastLid.value()))};
+  ensure_capacity(top);
+  auto* dst = entries_.data() + block_index * kLftBlockSize;
+  if (std::equal(data.begin(), data.end(), dst)) return;
+  std::copy(data.begin(), data.end(), dst);
+  dirty_[block_index] = true;
+}
+
+bool Lft::block_differs(const Lft& other, std::size_t block_index) const {
+  const bool here = block_index < block_count();
+  const bool there = block_index < other.block_count();
+  if (!here && !there) return false;
+  const auto all_drop = [](std::span<const PortNum> data) {
+    return std::all_of(data.begin(), data.end(),
+                       [](PortNum p) { return p == kDropPort; });
+  };
+  if (!here) return !all_drop(other.block(block_index));
+  if (!there) return !all_drop(block(block_index));
+  const auto a = block(block_index);
+  const auto b = other.block(block_index);
+  return !std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::vector<std::size_t> Lft::diff_blocks(const Lft& other) const {
+  std::vector<std::size_t> result;
+  const std::size_t blocks = std::max(block_count(), other.block_count());
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (block_differs(other, b)) result.push_back(b);
+  }
+  return result;
+}
+
+std::vector<std::size_t> Lft::dirty_blocks() const {
+  std::vector<std::size_t> result;
+  for (std::size_t b = 0; b < dirty_.size(); ++b) {
+    if (dirty_[b]) result.push_back(b);
+  }
+  return result;
+}
+
+void Lft::clear_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+void Lft::clear() {
+  std::fill(entries_.begin(), entries_.end(), kDropPort);
+  std::fill(dirty_.begin(), dirty_.end(), true);
+}
+
+std::size_t Lft::routed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](PortNum p) { return p != kDropPort; }));
+}
+
+bool Lft::operator==(const Lft& other) const {
+  const std::size_t blocks = std::max(block_count(), other.block_count());
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (block_differs(other, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace ibvs

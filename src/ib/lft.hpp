@@ -1,0 +1,82 @@
+// Linear Forwarding Table (LFT) of an IB switch.
+//
+// Maps every unicast LID to the egress port that traffic for that LID takes.
+// Hardware reads/writes LFTs in blocks of 64 entries; one SMP updates one
+// block. The reconfiguration cost analysis of the paper (§VI) is entirely in
+// terms of which blocks change, so this class tracks per-block dirty state
+// and can diff itself against a previous snapshot block-by-block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ib/types.hpp"
+
+namespace ibvs {
+
+class Lft {
+ public:
+  Lft() = default;
+  /// Creates a table able to route LIDs 0..top_lid, all entries kDropPort.
+  explicit Lft(Lid top_lid);
+
+  /// Grows (never shrinks) the table to cover `top_lid`. New entries drop.
+  void ensure_capacity(Lid top_lid);
+
+  /// Number of LIDs covered (always a multiple of kLftBlockSize).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return entries_.size() / kLftBlockSize;
+  }
+
+  /// Egress port for `lid`; kDropPort when unrouted or out of range.
+  [[nodiscard]] PortNum get(Lid lid) const noexcept {
+    const std::size_t i = lid.value();
+    return i < entries_.size() ? entries_[i] : kDropPort;
+  }
+
+  /// Routes `lid` out of `port`, growing the table if needed and marking the
+  /// containing block dirty when the value actually changes.
+  void set(Lid lid, PortNum port);
+
+  /// One 64-entry block, for SMP payload construction.
+  [[nodiscard]] std::span<const PortNum> block(std::size_t block_index) const;
+
+  /// Overwrites one block (the receive side of an LFT SMP).
+  void set_block(std::size_t block_index, std::span<const PortNum> data);
+
+  /// True if block contents differ from `other` in block `block_index`
+  /// (missing blocks compare as all-kDropPort).
+  [[nodiscard]] bool block_differs(const Lft& other,
+                                   std::size_t block_index) const;
+
+  /// Indices of blocks that differ from `other`, i.e. the SMPs a distribution
+  /// pass must send to bring `other` up to date with *this.
+  [[nodiscard]] std::vector<std::size_t> diff_blocks(const Lft& other) const;
+
+  /// Blocks touched by set() since the last clear_dirty(). Sorted, unique.
+  [[nodiscard]] std::vector<std::size_t> dirty_blocks() const;
+  void clear_dirty();
+
+  /// Resets every entry to kDropPort without changing capacity.
+  void clear();
+
+  /// Number of entries currently routing somewhere (not kDropPort).
+  [[nodiscard]] std::size_t routed_count() const noexcept;
+
+  [[nodiscard]] bool operator==(const Lft& other) const;
+
+  /// Raw storage view (read-only), used by the deadlock analyzer's hot loops.
+  [[nodiscard]] std::span<const PortNum> raw() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<PortNum> entries_;
+  std::vector<bool> dirty_;  // one flag per block
+};
+
+}  // namespace ibvs

@@ -1,0 +1,63 @@
+#include "ib/mft.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace ibvs {
+
+std::vector<PortNum> PortMask::ports() const {
+  std::vector<PortNum> result;
+  for (unsigned w = 0; w < 4; ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
+      result.push_back(static_cast<PortNum>(w * 64 + bit));
+      bits &= bits - 1;
+    }
+  }
+  return result;
+}
+
+PortMask Mft::get(Lid mlid) const {
+  IBVS_REQUIRE(is_multicast(mlid), "MFT entries exist only for MLIDs");
+  const auto it = entries_.find(mlid.value());
+  return it == entries_.end() ? PortMask{} : it->second;
+}
+
+void Mft::set(Lid mlid, const PortMask& mask) {
+  IBVS_REQUIRE(is_multicast(mlid), "MFT entries exist only for MLIDs");
+  if (mask.empty()) {
+    entries_.erase(mlid.value());
+  } else {
+    entries_[mlid.value()] = mask;
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint8_t>> Mft::diff_blocks(
+    const Mft& other, PortNum max_port) const {
+  const std::uint8_t positions = static_cast<std::uint8_t>(
+      (static_cast<std::size_t>(max_port) + kMftPositionPorts) /
+      kMftPositionPorts);
+  // Collect the MLIDs present on either side.
+  std::set<std::uint16_t> mlids;
+  for (const auto& [mlid, mask] : entries_) mlids.insert(mlid);
+  for (const auto& [mlid, mask] : other.entries_) mlids.insert(mlid);
+
+  std::set<std::pair<std::uint32_t, std::uint8_t>> dirty;
+  for (const std::uint16_t mlid : mlids) {
+    const PortMask a = get(Lid{mlid});
+    const PortMask b = other.get(Lid{mlid});
+    if (a == b) continue;
+    const std::uint32_t block = mft_block_of(Lid{mlid});
+    for (std::uint8_t p = 0; p < positions; ++p) {
+      if (a.position_bits(p) != b.position_bits(p)) {
+        dirty.emplace(block, p);
+      }
+    }
+  }
+  return {dirty.begin(), dirty.end()};
+}
+
+}  // namespace ibvs

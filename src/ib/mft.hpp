@@ -1,0 +1,91 @@
+// Multicast Forwarding Table (MFT) of an IB switch.
+//
+// Multicast LIDs live in 0xC000..0xFFFE. For each MLID a switch holds a
+// *port mask*: an arriving multicast packet is replicated out of every
+// masked port except the one it came in on. Hardware reads/writes MFTs in
+// blocks of 32 MLIDs, and because the mask is wider than a MAD payload,
+// each block is split into *positions* of 16 ports — one SMP programs one
+// (block, position) pair, which is the granularity the distribution code
+// accounts.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ib/types.hpp"
+
+namespace ibvs {
+
+/// First multicast LID.
+inline constexpr std::uint16_t kFirstMulticastLid = 0xC000;
+/// Last assignable multicast LID (0xFFFF is the permissive LID).
+inline constexpr std::uint16_t kLastMulticastLid = 0xFFFE;
+/// MLIDs per MFT block.
+inline constexpr std::size_t kMftBlockSize = 32;
+/// Ports per MFT position.
+inline constexpr std::size_t kMftPositionPorts = 16;
+
+[[nodiscard]] constexpr bool is_multicast(Lid lid) noexcept {
+  return lid.value() >= kFirstMulticastLid &&
+         lid.value() <= kLastMulticastLid;
+}
+
+/// 256-bit port mask (ports 0..255).
+struct PortMask {
+  std::uint64_t words[4] = {0, 0, 0, 0};
+
+  void set(PortNum port) noexcept {
+    words[port >> 6] |= 1ull << (port & 63);
+  }
+  void clear(PortNum port) noexcept {
+    words[port >> 6] &= ~(1ull << (port & 63));
+  }
+  [[nodiscard]] bool test(PortNum port) const noexcept {
+    return (words[port >> 6] >> (port & 63)) & 1;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return (words[0] | words[1] | words[2] | words[3]) == 0;
+  }
+  bool operator==(const PortMask&) const = default;
+
+  /// The 16-bit slice of the mask covering `position` (ports 16p..16p+15).
+  [[nodiscard]] std::uint16_t position_bits(std::size_t position) const {
+    const std::size_t bit = position * kMftPositionPorts;
+    return static_cast<std::uint16_t>(words[bit >> 6] >> (bit & 63));
+  }
+
+  [[nodiscard]] std::vector<PortNum> ports() const;
+};
+
+class Mft {
+ public:
+  /// Replication mask for `mlid` (empty mask when unprogrammed).
+  [[nodiscard]] PortMask get(Lid mlid) const;
+
+  /// Programs the mask (an empty mask erases the entry).
+  void set(Lid mlid, const PortMask& mask);
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// (block, position) pairs that differ from `other` — the SMPs needed to
+  /// bring `other` in sync with *this. `max_port` bounds the positions
+  /// worth comparing (ceil((max_port+1)/16)).
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint8_t>>
+  diff_blocks(const Mft& other, PortNum max_port) const;
+
+  [[nodiscard]] const std::unordered_map<std::uint16_t, PortMask>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<std::uint16_t, PortMask> entries_;  // keyed by MLID
+};
+
+[[nodiscard]] constexpr std::uint32_t mft_block_of(Lid mlid) noexcept {
+  return (mlid.value() - kFirstMulticastLid) / kMftBlockSize;
+}
+
+}  // namespace ibvs

@@ -1,0 +1,81 @@
+#include "ib/smp.hpp"
+
+#include <ostream>
+
+namespace ibvs {
+
+std::string to_string(SmpAttribute attribute) {
+  switch (attribute) {
+    case SmpAttribute::kNodeInfo:
+      return "NodeInfo";
+    case SmpAttribute::kPortInfo:
+      return "PortInfo";
+    case SmpAttribute::kSwitchInfo:
+      return "SwitchInfo";
+    case SmpAttribute::kLinearFwdTable:
+      return "LinearFwdTable";
+    case SmpAttribute::kMulticastFwdTable:
+      return "MulticastFwdTable";
+    case SmpAttribute::kGuidInfo:
+      return "GuidInfo";
+    case SmpAttribute::kVSwitchLidAssign:
+      return "VSwitchLidAssign";
+  }
+  return "Unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const Smp& smp) {
+  os << (smp.method == SmpMethod::kSet ? "Set(" : "Get(")
+     << to_string(smp.attribute) << ") -> node " << smp.target;
+  if (smp.attribute == SmpAttribute::kLinearFwdTable) {
+    os << " block " << smp.block;
+  }
+  os << (smp.routing == SmpRouting::kDirected ? " [DR " : " [LR ")
+     << smp.hops() << " hops]";
+  return os;
+}
+
+void SmpCounters::record(const Smp& smp) noexcept {
+  ++total;
+  switch (smp.attribute) {
+    case SmpAttribute::kLinearFwdTable:
+      ++lft_block_writes;
+      break;
+    case SmpAttribute::kMulticastFwdTable:
+      ++mft_block_writes;
+      break;
+    case SmpAttribute::kPortInfo:
+      ++port_info;
+      break;
+    case SmpAttribute::kGuidInfo:
+      ++guid_info;
+      break;
+    case SmpAttribute::kVSwitchLidAssign:
+      ++vf_lid_assign;
+      break;
+    case SmpAttribute::kNodeInfo:
+    case SmpAttribute::kSwitchInfo:
+      ++discovery;
+      break;
+  }
+  if (smp.routing == SmpRouting::kDirected) {
+    ++directed;
+  } else {
+    ++lid_routed;
+  }
+}
+
+SmpCounters& SmpCounters::operator+=(const SmpCounters& other) noexcept {
+  total += other.total;
+  lft_block_writes += other.lft_block_writes;
+  mft_block_writes += other.mft_block_writes;
+  port_info += other.port_info;
+  guid_info += other.guid_info;
+  vf_lid_assign += other.vf_lid_assign;
+  discovery += other.discovery;
+  directed += other.directed;
+  lid_routed += other.lid_routed;
+  return *this;
+}
+
+}  // namespace ibvs

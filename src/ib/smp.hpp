@@ -1,0 +1,76 @@
+// Subnet Management Packet (SMP) model.
+//
+// SMPs travel on QP0, VL15. Two routing modes exist (IBA §14.2):
+//   * Directed routing — the packet carries the hop-by-hop output-port path;
+//     every intermediate switch rewrites the hop pointer, which adds
+//     per-hop processing latency (the `r` term of eq. (2)). OpenSM uses this
+//     for everything because it works before LFTs exist.
+//   * LID (destination-based) routing — forwarded like normal traffic; valid
+//     only once the switches already have routes, which is exactly the case
+//     the paper exploits in eq. (5) for migration SMPs.
+//
+// The simulator does not serialize MAD wire formats; an Smp carries just the
+// fields the experiments account for: attribute, routing mode, target, and
+// (for LFT writes) the block index.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ib/types.hpp"
+
+namespace ibvs {
+
+enum class SmpAttribute : std::uint8_t {
+  kNodeInfo,        ///< discovery: who are you
+  kPortInfo,        ///< discovery / LID programming of a port
+  kSwitchInfo,      ///< discovery: switch properties
+  kLinearFwdTable,  ///< one 64-entry LFT block
+  kMulticastFwdTable,  ///< one (32-MLID block, 16-port position) MFT slice
+  kGuidInfo,        ///< vGUID (alias GUID) programming on an HCA port
+  kVSwitchLidAssign,  ///< vendor-style: set/unset the LID of a VF (§V-C step a)
+};
+
+enum class SmpMethod : std::uint8_t { kGet, kSet };
+
+enum class SmpRouting : std::uint8_t { kDirected, kLidRouted };
+
+struct Smp {
+  SmpMethod method = SmpMethod::kGet;
+  SmpAttribute attribute = SmpAttribute::kNodeInfo;
+  SmpRouting routing = SmpRouting::kDirected;
+  /// Destination node (switch or CA/hypervisor endpoint).
+  NodeId target = kInvalidNode;
+  /// Affected port at the target, where relevant (PortInfo, VF LID assign).
+  PortNum target_port = 0;
+  /// LFT block index for kLinearFwdTable.
+  std::uint32_t block = 0;
+  /// Directed route: output ports from the SM node, one per hop.
+  std::vector<PortNum> route;
+
+  [[nodiscard]] std::size_t hops() const noexcept { return route.size(); }
+};
+
+[[nodiscard]] std::string to_string(SmpAttribute attribute);
+std::ostream& operator<<(std::ostream& os, const Smp& smp);
+
+/// Aggregate counters kept by everything that emits SMPs. The paper's results
+/// (Table I, eqs. 2–5) are statements about these numbers.
+struct SmpCounters {
+  std::uint64_t total = 0;
+  std::uint64_t lft_block_writes = 0;
+  std::uint64_t mft_block_writes = 0;
+  std::uint64_t port_info = 0;
+  std::uint64_t guid_info = 0;
+  std::uint64_t vf_lid_assign = 0;
+  std::uint64_t discovery = 0;
+  std::uint64_t directed = 0;
+  std::uint64_t lid_routed = 0;
+
+  void record(const Smp& smp) noexcept;
+  SmpCounters& operator+=(const SmpCounters& other) noexcept;
+};
+
+}  // namespace ibvs

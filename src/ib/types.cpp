@@ -1,0 +1,27 @@
+#include "ib/types.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ibvs {
+
+std::ostream& operator<<(std::ostream& os, Lid lid) {
+  return os << lid.value();
+}
+
+std::ostream& operator<<(std::ostream& os, Guid guid) {
+  const auto flags = os.flags();
+  os << "0x" << std::hex << std::setw(16) << std::setfill('0') << guid.value();
+  os.flags(flags);
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const Gid& gid) {
+  const auto flags = os.flags();
+  os << std::hex << std::setw(16) << std::setfill('0') << gid.prefix << ":"
+     << std::setw(16) << std::setfill('0') << gid.guid.value();
+  os.flags(flags);
+  return os;
+}
+
+}  // namespace ibvs

@@ -1,0 +1,129 @@
+// Fundamental InfiniBand identifiers and constants (IBA spec 1.2.1, §4).
+//
+// The three IB address types the paper revolves around:
+//   * LID  — 16-bit local identifier, assigned by the SM, routes within a
+//            subnet. Unicast range is 0x0001..0xBFFF (49151 addresses), which
+//            bounds the subnet size and drives the whole prepopulated-vs-
+//            dynamic LID trade-off of §V.
+//   * GUID — 64-bit EUI, burned in by the manufacturer; the SM may assign
+//            additional *virtual* GUIDs (vGUIDs) to VFs.
+//   * GID  — 128-bit (64-bit subnet prefix + 64-bit GUID), a valid IPv6
+//            address.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace ibvs {
+
+/// 16-bit Local Identifier. Strong type: a Lid is not an integer index and
+/// must not silently mix with port numbers or node ids.
+class Lid {
+ public:
+  constexpr Lid() noexcept : value_(0) {}
+  constexpr explicit Lid(std::uint16_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint16_t value() const noexcept {
+    return value_;
+  }
+  /// LID 0 is reserved and used here as "unassigned".
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+
+  constexpr auto operator<=>(const Lid&) const noexcept = default;
+
+ private:
+  std::uint16_t value_;
+};
+
+inline constexpr Lid kInvalidLid{};
+/// Highest unicast LID (0xBFFF); 0xC000..0xFFFE are multicast, 0xFFFF is
+/// the permissive LID.
+inline constexpr Lid kTopmostUnicastLid{0xBFFF};
+/// Number of usable unicast LIDs (1..0xBFFF).
+inline constexpr std::size_t kUnicastLidCount = 0xBFFF;
+
+/// Linear forwarding tables are read and written in blocks of 64 entries;
+/// one SubnMgt(LinearForwardingTable) SMP carries exactly one block. This
+/// granularity is what makes the paper's LID-swap cost 1 *or* 2 SMPs.
+inline constexpr std::size_t kLftBlockSize = 64;
+
+/// Port number within a node. Port 0 is the switch management port.
+using PortNum = std::uint8_t;
+
+/// Forwarding a LID to port 255 drops traffic for it at that switch (used by
+/// the partially-static "drain" reconfiguration variant of §VI-C).
+inline constexpr PortNum kDropPort = 255;
+
+/// Index of a node inside a Fabric. Dense, assigned at creation.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// 64-bit Global Unique Identifier.
+class Guid {
+ public:
+  constexpr Guid() noexcept : value_(0) {}
+  constexpr explicit Guid(std::uint64_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+
+  constexpr auto operator<=>(const Guid&) const noexcept = default;
+
+ private:
+  std::uint64_t value_;
+};
+
+inline constexpr Guid kInvalidGuid{};
+
+/// 128-bit Global Identifier: subnet prefix + GUID. Valid IPv6 unicast.
+struct Gid {
+  std::uint64_t prefix = 0;
+  Guid guid;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return guid.valid(); }
+  constexpr auto operator<=>(const Gid&) const noexcept = default;
+};
+
+/// Default subnet prefix (the IBA link-local prefix fe80::/64).
+inline constexpr std::uint64_t kDefaultSubnetPrefix = 0xFE80000000000000ULL;
+
+/// Forms the GID of a port from the fabric-wide prefix and the port GUID.
+[[nodiscard]] constexpr Gid make_gid(std::uint64_t prefix, Guid guid) noexcept {
+  return Gid{prefix, guid};
+}
+
+/// LFT block index that contains `lid`.
+[[nodiscard]] constexpr std::size_t lft_block_of(Lid lid) noexcept {
+  return lid.value() / kLftBlockSize;
+}
+
+/// Number of LFT blocks needed to cover LIDs 0..top inclusive.
+[[nodiscard]] constexpr std::size_t lft_blocks_for(Lid top) noexcept {
+  return lft_block_of(top) + 1;
+}
+
+std::ostream& operator<<(std::ostream& os, Lid lid);
+std::ostream& operator<<(std::ostream& os, Guid guid);
+std::ostream& operator<<(std::ostream& os, const Gid& gid);
+
+}  // namespace ibvs
+
+template <>
+struct std::hash<ibvs::Lid> {
+  std::size_t operator()(ibvs::Lid lid) const noexcept {
+    return std::hash<std::uint16_t>{}(lid.value());
+  }
+};
+
+template <>
+struct std::hash<ibvs::Guid> {
+  std::size_t operator()(ibvs::Guid guid) const noexcept {
+    return std::hash<std::uint64_t>{}(guid.value());
+  }
+};

@@ -1,0 +1,65 @@
+#include "model/cost.hpp"
+
+namespace ibvs::model {
+
+double lft_distribution_us(const CostParams& p) noexcept {
+  return static_cast<double>(p.n) * static_cast<double>(p.m) *
+         (p.k_us + p.r_us);
+}
+
+double full_reconfiguration_us(double pc_us, const CostParams& p) noexcept {
+  return pc_us + lft_distribution_us(p);
+}
+
+double vswitch_reconfiguration_us(std::size_t n_prime, std::size_t m_prime,
+                                  double k_us, double r_us) noexcept {
+  return static_cast<double>(n_prime) * static_cast<double>(m_prime) *
+         (k_us + r_us);
+}
+
+double vswitch_reconfiguration_destrouted_us(std::size_t n_prime,
+                                             std::size_t m_prime,
+                                             double k_us) noexcept {
+  return static_cast<double>(n_prime) * static_cast<double>(m_prime) * k_us;
+}
+
+double pipelined_us(double serial_us, unsigned depth) noexcept {
+  return depth <= 1 ? serial_us : serial_us / static_cast<double>(depth);
+}
+
+Table1Row table1_row(std::size_t nodes, std::size_t switches) {
+  Table1Row row;
+  row.nodes = nodes;
+  row.switches = switches;
+  row.lids = nodes + switches;
+  row.min_lft_blocks = (row.lids + kLftBlockSize - 1) / kLftBlockSize;
+  row.min_smps_full_rc =
+      static_cast<std::uint64_t>(switches) * row.min_lft_blocks;
+  row.min_smps_vswitch = 1;
+  row.max_smps_swap = 2ull * switches;
+  row.max_smps_copy = switches;
+  return row;
+}
+
+std::vector<Table1Row> table1_paper_rows() {
+  return {
+      table1_row(324, 36),
+      table1_row(648, 54),
+      table1_row(5832, 972),
+      table1_row(11664, 1620),
+  };
+}
+
+PrepopulatedLimits prepopulated_limits(
+    std::size_t vfs_per_hypervisor) noexcept {
+  PrepopulatedLimits limits;
+  limits.lids_per_hypervisor = 1 + vfs_per_hypervisor;
+  limits.max_hypervisors =
+      kUnicastLidCount / (limits.lids_per_hypervisor == 0
+                              ? 1
+                              : limits.lids_per_hypervisor);
+  limits.max_vms = limits.max_hypervisors * vfs_per_hypervisor;
+  return limits;
+}
+
+}  // namespace ibvs::model

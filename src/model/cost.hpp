@@ -1,0 +1,75 @@
+// Analytical cost model — equations (1) through (5) of §VI, plus the
+// closed-form SMP counts behind Table I.
+//
+// Notation (paper's): n = switches, m = LFT blocks updated per switch,
+// k = average SMP network traversal time, r = average directed-routing
+// overhead per SMP, PCt = path computation time, LFTDt = LFT distribution
+// time, RCt = full reconfiguration time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ib/types.hpp"
+
+namespace ibvs::model {
+
+struct CostParams {
+  std::size_t n = 0;   ///< switches in the subnet
+  std::size_t m = 0;   ///< LFT blocks to update per switch
+  double k_us = 0.0;   ///< average per-SMP traversal time
+  double r_us = 0.0;   ///< average per-SMP directed-routing overhead
+};
+
+/// Eq. (2): LFTDt = n * m * (k + r).
+[[nodiscard]] double lft_distribution_us(const CostParams& p) noexcept;
+
+/// Eq. (3): RCt = PCt + n * m * (k + r).
+[[nodiscard]] double full_reconfiguration_us(double pc_us,
+                                             const CostParams& p) noexcept;
+
+/// Eq. (4): vSwitch RCt = n' * m' * (k + r), with m' in {1, 2}.
+[[nodiscard]] double vswitch_reconfiguration_us(std::size_t n_prime,
+                                                std::size_t m_prime,
+                                                double k_us,
+                                                double r_us) noexcept;
+
+/// Eq. (5): destination-based routing eliminates r.
+[[nodiscard]] double vswitch_reconfiguration_destrouted_us(
+    std::size_t n_prime, std::size_t m_prime, double k_us) noexcept;
+
+/// Pipelining refinement (§VI-B, last paragraph): with `depth` SMPs kept in
+/// flight, the serial sum divides by the pipelining capability.
+[[nodiscard]] double pipelined_us(double serial_us, unsigned depth) noexcept;
+
+/// One row of Table I.
+struct Table1Row {
+  std::size_t nodes = 0;
+  std::size_t switches = 0;
+  std::size_t lids = 0;            ///< nodes + switches
+  std::size_t min_lft_blocks = 0;  ///< ceil(lids / 64)
+  std::uint64_t min_smps_full_rc = 0;    ///< switches * blocks
+  std::uint64_t min_smps_vswitch = 1;    ///< best case: a single SMP
+  std::uint64_t max_smps_swap = 0;       ///< 2 * switches (prepopulated)
+  std::uint64_t max_smps_copy = 0;       ///< 1 * switches (dynamic)
+};
+
+/// Closed-form row for a subnet with `nodes` endpoints and `switches`
+/// switches, each consuming one LID (the paper's accounting).
+[[nodiscard]] Table1Row table1_row(std::size_t nodes, std::size_t switches);
+
+/// The four rows of Table I (324/648/5832/11664-node fat-trees).
+[[nodiscard]] std::vector<Table1Row> table1_paper_rows();
+
+/// §V-A sizing: with `vfs_per_hypervisor` VFs each consuming a LID, the
+/// hypervisor ceiling of a prepopulated-LIDs subnet and its VM ceiling.
+struct PrepopulatedLimits {
+  std::size_t lids_per_hypervisor = 0;  ///< 1 (PF) + VFs
+  std::size_t max_hypervisors = 0;      ///< floor(49151 / per-hyp)
+  std::size_t max_vms = 0;              ///< hypervisors * VFs
+};
+[[nodiscard]] PrepopulatedLimits prepopulated_limits(
+    std::size_t vfs_per_hypervisor) noexcept;
+
+}  // namespace ibvs::model

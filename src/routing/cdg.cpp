@@ -1,0 +1,143 @@
+#include "routing/cdg.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::routing {
+
+ChannelDepGraph::ChannelDepGraph(std::size_t num_channels)
+    : out_(num_channels),
+      in_(num_channels),
+      ord_(num_channels),
+      mark_(num_channels, 0) {
+  for (std::uint32_t i = 0; i < num_channels; ++i) ord_[i] = i;
+}
+
+bool ChannelDepGraph::has(std::uint32_t from, std::uint32_t to) const {
+  const auto& out = out_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+bool ChannelDepGraph::collect_forward(std::uint32_t start,
+                                      std::uint32_t limit,
+                                      std::uint32_t forbidden) {
+  delta_f_.clear();
+  stack_.clear();
+  stack_.push_back(start);
+  mark_[start] = epoch_;
+  while (!stack_.empty()) {
+    const std::uint32_t u = stack_.back();
+    stack_.pop_back();
+    if (u == forbidden) return false;
+    delta_f_.push_back(u);
+    for (std::uint32_t v : out_[u]) {
+      if (ord_[v] > limit || mark_[v] == epoch_) continue;
+      mark_[v] = epoch_;
+      stack_.push_back(v);
+    }
+  }
+  return true;
+}
+
+void ChannelDepGraph::collect_backward(std::uint32_t start,
+                                       std::uint32_t limit) {
+  delta_b_.clear();
+  stack_.clear();
+  stack_.push_back(start);
+  mark_[start] = epoch_;
+  while (!stack_.empty()) {
+    const std::uint32_t u = stack_.back();
+    stack_.pop_back();
+    delta_b_.push_back(u);
+    for (std::uint32_t v : in_[u]) {
+      if (ord_[v] < limit || mark_[v] == epoch_) continue;
+      mark_[v] = epoch_;
+      stack_.push_back(v);
+    }
+  }
+}
+
+void ChannelDepGraph::reorder() {
+  // Pearce–Kelly: the affected nodes (delta_b_ then delta_f_) keep their
+  // relative order and are packed into the sorted pool of their old indices.
+  const auto by_ord = [this](std::uint32_t a, std::uint32_t b) {
+    return ord_[a] < ord_[b];
+  };
+  std::sort(delta_b_.begin(), delta_b_.end(), by_ord);
+  std::sort(delta_f_.begin(), delta_f_.end(), by_ord);
+
+  std::vector<std::uint32_t> pool;
+  pool.reserve(delta_b_.size() + delta_f_.size());
+  for (std::uint32_t n : delta_b_) pool.push_back(ord_[n]);
+  for (std::uint32_t n : delta_f_) pool.push_back(ord_[n]);
+  std::sort(pool.begin(), pool.end());
+
+  std::size_t i = 0;
+  for (std::uint32_t n : delta_b_) ord_[n] = pool[i++];
+  for (std::uint32_t n : delta_f_) ord_[n] = pool[i++];
+}
+
+ChannelDepGraph::Add ChannelDepGraph::add(std::uint32_t from,
+                                          std::uint32_t to) {
+  IBVS_REQUIRE(from < out_.size() && to < out_.size(),
+               "channel id out of range");
+  if (from == to) return Add::kRejected;
+  if (has(from, to)) return Add::kPresent;
+  if (ord_[from] > ord_[to]) {
+    // Possible order violation: discover the affected region.
+    ++epoch_;
+    if (!collect_forward(to, ord_[from], from)) return Add::kRejected;
+    collect_backward(from, ord_[to]);
+    reorder();
+  }
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++num_deps_;
+  return Add::kInserted;
+}
+
+void ChannelDepGraph::remove_edge(std::uint32_t from, std::uint32_t to) {
+  auto& out = out_[from];
+  auto it = std::find(out.begin(), out.end(), to);
+  IBVS_ENSURE(it != out.end(), "removing a dependency that is not present");
+  out.erase(it);
+  auto& in = in_[to];
+  auto jt = std::find(in.begin(), in.end(), from);
+  in.erase(jt);
+  --num_deps_;
+}
+
+bool ChannelDepGraph::try_add_batch(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& deps) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> inserted;
+  inserted.reserve(deps.size());
+  for (const auto& [from, to] : deps) {
+    switch (add(from, to)) {
+      case Add::kInserted:
+        inserted.emplace_back(from, to);
+        break;
+      case Add::kPresent:
+        break;
+      case Add::kRejected:
+        // Removing edges never invalidates a topological order, so the
+        // maintained ord_ stays correct after rollback.
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          remove_edge(it->first, it->second);
+        }
+        return false;
+    }
+  }
+  return true;
+}
+
+bool ChannelDepGraph::order_consistent() const {
+  for (std::uint32_t u = 0; u < out_.size(); ++u) {
+    for (std::uint32_t v : out_[u]) {
+      if (ord_[u] >= ord_[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ibvs::routing

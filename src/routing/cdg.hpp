@@ -1,0 +1,80 @@
+// Acyclicity-maintaining channel dependency graph.
+//
+// A "channel" is one directed switch-to-switch link (a SwitchGraph edge). A
+// route that enters a switch on channel a and leaves on channel b creates
+// the dependency a -> b; a routing function is deadlock free on a virtual
+// lane iff the dependencies it creates on that lane form a DAG (Duato's
+// condition for deterministic routing).
+//
+// DFSSSP and LASH assign destinations / switch pairs to layers by
+// *tentatively* adding a route's dependencies and backing out on a cycle, so
+// insertion must be fast: this class maintains a dynamic topological order
+// with the Pearce–Kelly algorithm, making the common (order-respecting)
+// insert O(1) and confining the work of the rest to the affected region.
+//
+// For *analysing* an existing (possibly deadlocky) routing — where cycles
+// are the finding, not an error — use ibvs::deadlock::DependencyDigraph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ibvs::routing {
+
+class ChannelDepGraph {
+ public:
+  enum class Add : std::uint8_t {
+    kInserted,  ///< new dependency, graph still acyclic
+    kPresent,   ///< dependency already existed
+    kRejected,  ///< insertion would close a cycle; graph unchanged
+  };
+
+  explicit ChannelDepGraph(std::size_t num_channels);
+
+  [[nodiscard]] std::size_t num_channels() const noexcept {
+    return out_.size();
+  }
+  [[nodiscard]] std::size_t num_deps() const noexcept { return num_deps_; }
+
+  [[nodiscard]] bool has(std::uint32_t from, std::uint32_t to) const;
+
+  /// Single-edge insertion preserving acyclicity.
+  Add add(std::uint32_t from, std::uint32_t to);
+
+  /// Adds all dependencies or none: on the first rejection every edge this
+  /// call inserted is removed again and false is returned.
+  bool try_add_batch(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& deps);
+
+  /// Topological position of a channel (for tests / diagnostics).
+  [[nodiscard]] std::uint32_t order_of(std::uint32_t channel) const {
+    return ord_[channel];
+  }
+
+  /// Verifies the maintained order is a valid topological order (tests).
+  [[nodiscard]] bool order_consistent() const;
+
+ private:
+  void remove_edge(std::uint32_t from, std::uint32_t to);
+  /// Forward DFS from `start` over nodes with ord <= limit; returns false if
+  /// `forbidden` was reached (cycle). Visited nodes collected into delta_f_.
+  bool collect_forward(std::uint32_t start, std::uint32_t limit,
+                       std::uint32_t forbidden);
+  void collect_backward(std::uint32_t start, std::uint32_t limit);
+  void reorder();
+
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  std::vector<std::uint32_t> ord_;  ///< channel -> topological index
+  std::size_t num_deps_ = 0;
+
+  // DFS scratch (epoch-stamped to avoid per-query clears).
+  mutable std::vector<std::uint32_t> mark_;
+  mutable std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> delta_f_;
+  std::vector<std::uint32_t> delta_b_;
+  std::vector<std::uint32_t> stack_;
+};
+
+}  // namespace ibvs::routing

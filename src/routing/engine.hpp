@@ -1,0 +1,75 @@
+// Routing-engine interface.
+//
+// An engine consumes the subnet (fabric + LID assignment) and produces a
+// full set of linear forwarding tables for the physical switches, plus the
+// virtual-lane layering needed for deadlock freedom where the engine relies
+// on VLs (DFSSSP, LASH). This mirrors OpenSM's routing-engine plug-in
+// boundary; the four engines of Fig. 7 (fat-tree, minhop, dfsssp, lash) and
+// Up*/Down* are implemented against it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ib/lft.hpp"
+#include "routing/graph.hpp"
+
+namespace ibvs::routing {
+
+/// Output of a path-computation run.
+struct RoutingResult {
+  /// The switch view the tables are indexed by (dense switch index).
+  SwitchGraph graph;
+  /// One LFT per physical switch, graph-dense-indexed.
+  std::vector<Lft> lfts;
+  /// Number of virtual lanes/layers the engine needs (1 = no VL layering).
+  unsigned num_vls = 1;
+  /// DFSSSP-style layering: VL per destination LID value (empty = all VL0).
+  std::vector<std::uint8_t> dest_vl;
+  /// LASH-style layering: layer per (src switch, dst switch) dense pair,
+  /// row-major S*S (empty when unused). 0xFF = pair unrouted.
+  std::vector<std::uint8_t> pair_layer;
+  /// Wall-clock path-computation time (the PCt of eq. (1)).
+  double compute_seconds = 0.0;
+
+  /// Egress port on switch `s` for `lid` (kDropPort if unrouted).
+  [[nodiscard]] PortNum port_at(SwitchIdx s, Lid lid) const {
+    return lfts[s].get(lid);
+  }
+
+  /// VL assigned to traffic from `src_sw` to LID `lid`.
+  [[nodiscard]] std::uint8_t vl_for(SwitchIdx src_sw, Lid lid,
+                                    SwitchIdx dst_sw) const {
+    if (!dest_vl.empty() && lid.value() < dest_vl.size())
+      return dest_vl[lid.value()];
+    if (!pair_layer.empty())
+      return pair_layer[static_cast<std::size_t>(src_sw) *
+                            graph.num_switches() +
+                        dst_sw];
+    return 0;
+  }
+};
+
+class RoutingEngine {
+ public:
+  virtual ~RoutingEngine() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Computes LFTs for all physical switches. Deterministic for a given
+  /// fabric + LID assignment.
+  [[nodiscard]] virtual RoutingResult compute(const Fabric& fabric,
+                                              const LidMap& lids) = 0;
+};
+
+enum class EngineKind { kMinHop, kFatTree, kUpDown, kDfsssp, kLash };
+
+[[nodiscard]] std::unique_ptr<RoutingEngine> make_engine(EngineKind kind);
+[[nodiscard]] std::string to_string(EngineKind kind);
+[[nodiscard]] std::vector<EngineKind> all_engines();
+
+/// The engines of the paper's Fig. 7, in its plotting order.
+[[nodiscard]] std::vector<EngineKind> fig7_engines();
+
+}  // namespace ibvs::routing

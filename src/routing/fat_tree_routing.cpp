@@ -1,0 +1,167 @@
+// Fat-tree routing engine (OpenSM "ftree" equivalent, d-mod-k flavour).
+//
+// Switches are ranked by distance from the leaf tier. Traffic for a
+// destination goes *down* along the unique tree path wherever the
+// destination lies below, and *up* otherwise, with the uplink chosen as
+// lid % |up ports| — the classic destination-mod-k spreading that gives a
+// fat tree its full-bisection load balance. Because the choice depends only
+// on the destination LID, two LIDs on the same hypervisor can ride
+// different spines: the LMC-like multipathing the paper credits to the
+// prepopulated-LIDs scheme (§V-A).
+#include <algorithm>
+#include <cstring>
+
+#include "routing/engine.hpp"
+#include "util/expect.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ibvs::routing {
+
+namespace {
+
+class FatTreeEngine final : public RoutingEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fat-tree";
+  }
+
+  [[nodiscard]] RoutingResult compute(const Fabric& fabric,
+                                      const LidMap& lids) override {
+    Stopwatch watch;
+    RoutingResult result;
+    result.graph = SwitchGraph::build(fabric, lids);
+    const SwitchGraph& g = result.graph;
+    const std::size_t s_count = g.num_switches();
+    const std::size_t t_count = g.targets.size();
+
+    // --- Rank switches: leaves are switches with endpoint attachments. ---
+    std::vector<std::uint8_t> level(s_count, 0xFF);
+    std::vector<SwitchIdx> queue;
+    for (const auto& t : g.targets) {
+      if (t.port != 0 && level[t.sw] == 0xFF) {
+        level[t.sw] = 0;
+        queue.push_back(t.sw);
+      }
+    }
+    if (queue.empty()) {
+      // Degenerate fabric without endpoints: rank from switch 0.
+      if (s_count > 0) {
+        level[0] = 0;
+        queue.push_back(0);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const SwitchIdx u = queue[head];
+      const auto [first, last] = g.out(u);
+      for (const auto* e = first; e != last; ++e) {
+        if (level[e->to] == 0xFF) {
+          level[e->to] = static_cast<std::uint8_t>(level[u] + 1);
+          queue.push_back(e->to);
+        }
+      }
+    }
+
+    // --- Up-port lists (sorted, deduplicated) per switch. ---
+    std::vector<std::vector<PortNum>> up_ports(s_count);
+    for (std::size_t s = 0; s < s_count; ++s) {
+      const auto [first, last] = g.out(static_cast<SwitchIdx>(s));
+      for (const auto* e = first; e != last; ++e) {
+        if (level[e->to] == level[s] + 1) up_ports[s].push_back(e->out_port);
+      }
+      std::sort(up_ports[s].begin(), up_ports[s].end());
+      up_ports[s].erase(
+          std::unique(up_ports[s].begin(), up_ports[s].end()),
+          up_ports[s].end());
+    }
+
+    // --- Phase 1: per destination, the unique downward tree. ---
+    // route[t * s_count + s] = down port at switch s for target t, or
+    // kDropPort where the up-rule applies.
+    std::vector<PortNum> route(t_count * s_count, kDropPort);
+    ThreadPool::global().parallel_for_chunks(
+        0, t_count, [&](std::size_t begin, std::size_t end) {
+          std::vector<SwitchIdx> frontier;
+          for (std::size_t ti = begin; ti < end; ++ti) {
+            const auto& target = g.targets[ti];
+            PortNum* row = route.data() + ti * s_count;
+            row[target.sw] = target.port;
+            frontier.clear();
+            frontier.push_back(target.sw);
+            if (target.port == 0) {
+              // Switch LID (management traffic): a plain shortest-path tree
+              // toward the switch. No spreading needed, and the up-rule
+              // below cannot reach mid-tier switches.
+              for (std::size_t head = 0; head < frontier.size(); ++head) {
+                const SwitchIdx near = frontier[head];
+                const auto [nf, nl] = g.out(near);
+                for (const auto* e = nf; e != nl; ++e) {
+                  const SwitchIdx far = e->to;
+                  if (row[far] != kDropPort || far == target.sw) continue;
+                  // far forwards toward `near`: find far's port facing near.
+                  const auto [ff, fl] = g.out(far);
+                  for (const auto* back = ff; back != fl; ++back) {
+                    if (back->to == near) {
+                      row[far] = back->out_port;
+                      break;
+                    }
+                  }
+                  frontier.push_back(far);
+                }
+              }
+              continue;
+            }
+            // Endpoint LID: BFS upward from the attachment switch; every
+            // ancestor's down port is its port toward the child it was
+            // discovered from. Non-ancestors use the d-mod-k up-rule.
+            for (std::size_t head = 0; head < frontier.size(); ++head) {
+              const SwitchIdx child = frontier[head];
+              const auto [cf, cl] = g.out(child);
+              for (const auto* e = cf; e != cl; ++e) {
+                const SwitchIdx anc = e->to;
+                if (level[anc] != level[child] + 1) continue;
+                if (row[anc] != kDropPort) continue;  // already reached
+                // Find the ancestor's port facing this child.
+                const auto [af, al] = g.out(anc);
+                for (const auto* back = af; back != al; ++back) {
+                  if (back->to == child) {
+                    row[anc] = back->out_port;
+                    break;
+                  }
+                }
+                frontier.push_back(anc);
+              }
+            }
+          }
+        });
+
+    // --- Phase 2: assemble LFTs; up-rule fills the gaps. ---
+    result.lfts.assign(s_count, Lft(lids.top_lid()));
+    ThreadPool::global().parallel_for_chunks(
+        0, s_count, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            Lft& lft = result.lfts[s];
+            for (std::size_t ti = 0; ti < t_count; ++ti) {
+              PortNum port = route[ti * s_count + s];
+              if (port == kDropPort) {
+                const auto& ups = up_ports[s];
+                if (ups.empty()) continue;  // disconnected from the tree
+                port = ups[g.targets[ti].lid.value() % ups.size()];
+              }
+              lft.set(g.targets[ti].lid, port);
+            }
+            lft.clear_dirty();
+          }
+        });
+    result.compute_seconds = watch.elapsed_seconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingEngine> make_fat_tree_engine() {
+  return std::make_unique<FatTreeEngine>();
+}
+
+}  // namespace ibvs::routing

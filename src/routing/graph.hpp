@@ -1,0 +1,85 @@
+// Compact switch-level view of a fabric for the routing engines.
+//
+// Path computation only cares about physical switches and where each LID
+// attaches to them; CAs, PFs, VFs and vSwitches all collapse onto their
+// attachment (switch, port). This is both a performance necessity at the
+// paper's 11664-node scale and the structural reason the vSwitch
+// reconfiguration works: every LID behind a hypervisor shares one
+// attachment point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "ib/lid_map.hpp"
+#include "ib/types.hpp"
+
+namespace ibvs::routing {
+
+/// Dense index of a switch inside a SwitchGraph.
+using SwitchIdx = std::uint32_t;
+inline constexpr SwitchIdx kNoSwitch = ~SwitchIdx{0};
+
+struct SwitchGraph {
+  /// One directed half of a cable between two physical switches.
+  struct Edge {
+    SwitchIdx to = kNoSwitch;
+    PortNum out_port = 0;  ///< egress port on the source switch
+  };
+
+  /// An assigned LID and where its traffic must be delivered.
+  struct Target {
+    Lid lid;
+    SwitchIdx sw = kNoSwitch;  ///< attachment switch
+    PortNum port = 0;          ///< delivery port (0 = the switch itself)
+  };
+
+  std::vector<NodeId> switches;       ///< dense index -> fabric NodeId
+  std::vector<SwitchIdx> dense_of;    ///< fabric NodeId -> dense index
+  std::vector<std::uint32_t> adj_offset;  ///< CSR offsets, size S+1
+  std::vector<Edge> edges;                ///< CSR payload
+  std::vector<Target> targets;        ///< every routable LID, LID-ascending
+  /// edges[i]'s opposite direction on the same cable: edges[reverse_edge[i]].
+  std::vector<std::uint32_t> reverse_edge;
+  /// (switch, out port) -> edge index (kNoEdge if that port has no
+  /// switch-to-switch cable). Row-major, 256 ports per switch.
+  std::vector<std::uint32_t> edge_by_port;
+
+  static constexpr std::uint32_t kNoEdge = ~std::uint32_t{0};
+
+  /// Source switch of an edge (derivable from CSR; precomputed for speed).
+  std::vector<SwitchIdx> edge_src;
+
+  [[nodiscard]] std::uint32_t edge_of(SwitchIdx s, PortNum port) const {
+    return edge_by_port[static_cast<std::size_t>(s) * 256 + port];
+  }
+
+  [[nodiscard]] std::size_t num_switches() const noexcept {
+    return switches.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges.size(); }
+
+  /// Edges leaving switch `s`.
+  [[nodiscard]] std::pair<const Edge*, const Edge*> out(SwitchIdx s) const {
+    return {edges.data() + adj_offset[s], edges.data() + adj_offset[s + 1]};
+  }
+
+  [[nodiscard]] SwitchIdx dense(NodeId node) const {
+    return node < dense_of.size() ? dense_of[node] : kNoSwitch;
+  }
+
+  /// Builds the view. Targets cover every LID in `lids` that resolves to a
+  /// physical attachment; unattached LIDs are skipped (and later unrouted).
+  static SwitchGraph build(const Fabric& fabric, const LidMap& lids);
+
+  /// Recomputes only the target list (cheap). Needed after LIDs move —
+  /// create/destroy/migrate — when the switch fabric itself is unchanged.
+  void rebuild_targets(const Fabric& fabric, const LidMap& lids);
+};
+
+/// Hop-count matrix between switches (row-major, S*S, 0xFF = unreachable).
+/// Shared by Min-Hop and Fat-Tree routing; computed by parallel BFS.
+std::vector<std::uint8_t> switch_hop_matrix(const SwitchGraph& graph);
+
+}  // namespace ibvs::routing

@@ -1,0 +1,89 @@
+// Min-Hop routing engine (OpenSM "minhop" equivalent).
+//
+// Per switch: every destination LID is forwarded out of a port that lies on
+// a minimal-hop path, choosing among the minimal ports the one with the
+// least destinations already assigned (OpenSM's port-load balancing).
+// Deterministic: targets are processed in ascending LID order with
+// lowest-port tie breaking.
+#include <algorithm>
+#include <limits>
+
+#include "routing/engine.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ibvs::routing {
+
+namespace {
+
+class MinHopEngine final : public RoutingEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "minhop";
+  }
+
+  [[nodiscard]] RoutingResult compute(const Fabric& fabric,
+                                      const LidMap& lids) override {
+    Stopwatch watch;
+    RoutingResult result;
+    result.graph = SwitchGraph::build(fabric, lids);
+    const SwitchGraph& g = result.graph;
+    const std::size_t s_count = g.num_switches();
+    const auto hops = switch_hop_matrix(g);
+
+    result.lfts.assign(s_count, Lft(lids.top_lid()));
+    ThreadPool::global().parallel_for_chunks(
+        0, s_count, [&](std::size_t begin, std::size_t end) {
+          std::vector<std::uint32_t> port_load(256, 0);
+          for (std::size_t s = begin; s < end; ++s) {
+            std::fill(port_load.begin(), port_load.end(), 0);
+            Lft& lft = result.lfts[s];
+            const auto [first, last] = g.out(static_cast<SwitchIdx>(s));
+            for (const auto& target : g.targets) {
+              PortNum chosen;
+              if (target.sw == s) {
+                chosen = target.port;  // local delivery (port 0 = self)
+              } else {
+                // Minimal hop count via any neighbor, then least-loaded port.
+                std::uint32_t best_dist =
+                    std::numeric_limits<std::uint32_t>::max();
+                std::uint32_t best_load =
+                    std::numeric_limits<std::uint32_t>::max();
+                PortNum best_port = kDropPort;
+                for (const auto* e = first; e != last; ++e) {
+                  const std::uint8_t h =
+                      hops[static_cast<std::size_t>(e->to) * s_count +
+                           target.sw];
+                  if (h == 0xFF) continue;
+                  const std::uint32_t dist = 1u + h;
+                  const std::uint32_t load = port_load[e->out_port];
+                  if (dist < best_dist ||
+                      (dist == best_dist && load < best_load) ||
+                      (dist == best_dist && load == best_load &&
+                       e->out_port < best_port)) {
+                    best_dist = dist;
+                    best_load = load;
+                    best_port = e->out_port;
+                  }
+                }
+                chosen = best_port;
+                if (chosen != kDropPort) ++port_load[chosen];
+              }
+              if (chosen != kDropPort) lft.set(target.lid, chosen);
+            }
+            lft.clear_dirty();
+          }
+        });
+
+    result.compute_seconds = watch.elapsed_seconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingEngine> make_min_hop_engine() {
+  return std::make_unique<MinHopEngine>();
+}
+
+}  // namespace ibvs::routing

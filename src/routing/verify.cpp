@@ -1,0 +1,95 @@
+#include "routing/verify.hpp"
+
+#include <sstream>
+
+namespace ibvs::routing {
+
+VerifyReport verify_routing(const RoutingResult& result,
+                            std::size_t max_issues) {
+  const SwitchGraph& g = result.graph;
+  const std::size_t s_count = g.num_switches();
+  VerifyReport report;
+  std::uint64_t hop_total = 0;
+
+  const auto complain = [&](const std::string& what) {
+    report.ok = false;
+    if (report.issues.size() < max_issues) report.issues.push_back(what);
+  };
+
+  for (const auto& target : g.targets) {
+    for (SwitchIdx start = 0; start < s_count; ++start) {
+      ++report.pairs_checked;
+      SwitchIdx x = start;
+      std::uint32_t hops = 0;
+      const std::uint32_t limit = static_cast<std::uint32_t>(s_count) + 1;
+      bool delivered = false;
+      while (hops <= limit) {
+        if (x == target.sw) {
+          // Local delivery: entry must name the attachment port (or the
+          // management port 0 for the switch's own LID).
+          const PortNum port = result.lfts[x].get(target.lid);
+          if (port == target.port) {
+            delivered = true;
+          } else {
+            std::ostringstream os;
+            os << "switch " << x << " delivers lid " << target.lid
+               << " to port " << int(port) << ", expected "
+               << int(target.port);
+            complain(os.str());
+          }
+          break;
+        }
+        const PortNum port = result.lfts[x].get(target.lid);
+        const std::uint32_t e = g.edge_of(x, port);
+        if (port == kDropPort || e == SwitchGraph::kNoEdge) {
+          ++report.unreachable;
+          std::ostringstream os;
+          os << "lid " << target.lid << " unrouted at switch " << x
+             << " (port " << int(port) << ")";
+          complain(os.str());
+          break;
+        }
+        x = g.edges[e].to;
+        ++hops;
+      }
+      if (hops > limit) {
+        ++report.loops;
+        std::ostringstream os;
+        os << "forwarding loop for lid " << target.lid << " from switch "
+           << start;
+        complain(os.str());
+        continue;
+      }
+      if (delivered) {
+        hop_total += hops;
+        report.max_hops = std::max(report.max_hops, hops);
+      }
+    }
+  }
+  report.avg_hops = report.pairs_checked
+                        ? static_cast<double>(hop_total) /
+                              static_cast<double>(report.pairs_checked)
+                        : 0.0;
+  return report;
+}
+
+std::vector<std::uint32_t> channel_route_load(const RoutingResult& result) {
+  const SwitchGraph& g = result.graph;
+  std::vector<std::uint32_t> load(g.num_edges(), 0);
+  for (const auto& target : g.targets) {
+    for (SwitchIdx start = 0; start < g.num_switches(); ++start) {
+      SwitchIdx x = start;
+      std::uint32_t guard = 0;
+      while (x != target.sw && guard++ <= g.num_switches()) {
+        const PortNum port = result.lfts[x].get(target.lid);
+        const std::uint32_t e = g.edge_of(x, port);
+        if (port == kDropPort || e == SwitchGraph::kNoEdge) break;
+        ++load[e];
+        x = g.edges[e].to;
+      }
+    }
+  }
+  return load;
+}
+
+}  // namespace ibvs::routing

@@ -1,0 +1,36 @@
+// Correctness checks over a computed routing.
+//
+// Used by the test suite's property sweeps and by the reconfigurator's
+// sanity mode: every assigned LID must be reachable from every switch by
+// following the LFTs, without loops, and the hop counts must stay sane.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/engine.hpp"
+
+namespace ibvs::routing {
+
+struct VerifyReport {
+  bool ok = true;
+  std::size_t pairs_checked = 0;
+  std::size_t unreachable = 0;
+  std::size_t loops = 0;
+  std::uint32_t max_hops = 0;
+  double avg_hops = 0.0;
+  std::vector<std::string> issues;  ///< first few problems, human readable
+};
+
+/// Follows `result`'s LFTs from every switch to every target LID.
+/// `max_issues` bounds the diagnostics collected.
+VerifyReport verify_routing(const RoutingResult& result,
+                            std::size_t max_issues = 8);
+
+/// Per-link load histogram of a routing: for every switch-to-switch channel,
+/// how many (switch, destination LID) routes traverse it. Used by the
+/// balancing tests and the prepopulated-vs-dynamic comparison benches.
+std::vector<std::uint32_t> channel_route_load(const RoutingResult& result);
+
+}  // namespace ibvs::routing

@@ -1,0 +1,146 @@
+#include "sm/election.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibvs::sm {
+
+std::string to_string(SmState state) {
+  switch (state) {
+    case SmState::kNotActive:
+      return "not-active";
+    case SmState::kDiscovering:
+      return "discovering";
+    case SmState::kStandby:
+      return "standby";
+    case SmState::kMaster:
+      return "master";
+  }
+  return "?";
+}
+
+SmElection::SmElection(
+    Fabric& fabric,
+    std::function<std::unique_ptr<routing::RoutingEngine>()> engine_factory)
+    : fabric_(fabric), engine_factory_(std::move(engine_factory)) {
+  IBVS_REQUIRE(engine_factory_ != nullptr, "engine factory required");
+}
+
+std::size_t SmElection::add_candidate(NodeId node, std::uint8_t priority,
+                                      bool qp0_usable) {
+  IBVS_REQUIRE(fabric_.node(node).is_ca(), "SM candidates are CA endpoints");
+  SmCandidate candidate;
+  candidate.node = node;
+  candidate.priority = priority;
+  candidate.qp0_usable = qp0_usable;
+  candidate.state =
+      qp0_usable ? SmState::kDiscovering : SmState::kNotActive;
+  candidates_.push_back(candidate);
+  alive_.push_back(true);
+  return candidates_.size() - 1;
+}
+
+std::optional<std::size_t> SmElection::pick_winner() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const auto& c = candidates_[i];
+    if (!c.qp0_usable || !alive_[i]) continue;
+    if (!best) {
+      best = i;
+      continue;
+    }
+    const auto& champion = candidates_[*best];
+    if (c.priority > champion.priority ||
+        (c.priority == champion.priority &&
+         fabric_.node(c.node).guid > fabric_.node(champion.node).guid)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void SmElection::promote(std::size_t index) {
+  master_ = index;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    auto& c = candidates_[i];
+    if (!c.qp0_usable) {
+      c.state = SmState::kNotActive;
+    } else if (!alive_[i]) {
+      c.state = SmState::kDiscovering;  // gone; rejoins if it comes back
+    } else {
+      c.state = i == index ? SmState::kMaster : SmState::kStandby;
+    }
+  }
+  // The new master drives a fresh SubnetManager from its own vantage
+  // point. LIDs already assigned in the fabric are inherited implicitly:
+  // the takeover sweep re-registers them (simplification: the new SM
+  // starts a clean LidMap and reassigns; installed LFT diffs keep the SMP
+  // cost of an unchanged subnet at zero after the first sweep).
+  sm_ = std::make_unique<SubnetManager>(fabric_, candidates_[index].node,
+                                        engine_factory_());
+}
+
+ElectionReport SmElection::elect() {
+  ElectionReport report;
+  const auto winner = pick_winner();
+  if (winner) {
+    // One SMInfo exchange per healthy candidate pair with the winner.
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      if (i != *winner && alive_[i] && candidates_[i].qp0_usable) {
+        ++sminfo_smps_;
+        ++report.sminfo_smps;
+      }
+    }
+    if (master_ != winner) promote(*winner);
+  } else {
+    master_.reset();
+    sm_.reset();
+  }
+  report.master = master_;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i].state == SmState::kStandby) ++report.standbys;
+    if (candidates_[i].state == SmState::kNotActive) ++report.disqualified;
+  }
+  return report;
+}
+
+void SmElection::fail_candidate(std::size_t index) {
+  IBVS_REQUIRE(index < candidates_.size(), "candidate out of range");
+  alive_[index] = false;
+  if (master_ == index) {
+    // The master is gone; the subnet keeps forwarding (LFTs are in the
+    // switches) but has no SM until a standby notices via poll().
+    candidates_[index].state = SmState::kDiscovering;
+  }
+}
+
+ElectionReport SmElection::poll() {
+  // Standbys probe the master's SMInfo.
+  ElectionReport report;
+  bool master_ok = master_.has_value() && alive_[*master_];
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i].state == SmState::kStandby && alive_[i]) {
+      ++sminfo_smps_;
+      ++report.sminfo_smps;
+    }
+  }
+  if (master_ok) {
+    report.master = master_;
+    for (const auto& c : candidates_) {
+      if (c.state == SmState::kStandby) ++report.standbys;
+      if (c.state == SmState::kNotActive) ++report.disqualified;
+    }
+    return report;
+  }
+  // Failover: re-elect and let the winner take the subnet over.
+  auto elected = elect();
+  elected.sminfo_smps += report.sminfo_smps;
+  if (master_) master_sweep();
+  return elected;
+}
+
+SweepReport SmElection::master_sweep() {
+  IBVS_REQUIRE(sm_ != nullptr, "no master elected");
+  return sm_->full_sweep();
+}
+
+}  // namespace ibvs::sm

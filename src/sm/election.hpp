@@ -1,0 +1,98 @@
+// Subnet manager election and failover (IBA §14.4 SMInfo, simplified).
+//
+// Every IB subnet has exactly one master SM; standbys poll the master's
+// SMInfo and take over when it dies. The paper's §IV makes an architectural
+// point out of this: under Shared Port, VFs cannot use QP0, so *an SM can
+// never run inside a VM* — under vSwitch every VF is a complete vHCA and a
+// VM-hosted SM becomes possible. This module models the election so that
+// exactly that can be demonstrated: a fleet of candidates (bare-metal nodes,
+// hypervisor PFs, or vSwitch VFs), master selection by (priority, GUID),
+// failure detection by missed SMInfo polls, and a standby takeover that
+// re-runs the sweep and heals the subnet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sm/subnet_manager.hpp"
+
+namespace ibvs::sm {
+
+enum class SmState : std::uint8_t {
+  kNotActive,    ///< disqualified (e.g. a Shared Port VF: no QP0)
+  kDiscovering,  ///< joining the election
+  kStandby,      ///< healthy, polling the master
+  kMaster,       ///< owns the subnet
+};
+
+[[nodiscard]] std::string to_string(SmState state);
+
+struct SmCandidate {
+  NodeId node = kInvalidNode;
+  std::uint8_t priority = 0;  ///< higher wins; GUID breaks ties (higher wins)
+  bool qp0_usable = true;     ///< false for Shared Port VFs (§IV-A)
+  SmState state = SmState::kDiscovering;
+};
+
+/// Outcome of one election round or takeover.
+struct ElectionReport {
+  std::optional<std::size_t> master;  ///< index into candidates()
+  std::size_t standbys = 0;
+  std::size_t disqualified = 0;
+  std::uint64_t sminfo_smps = 0;  ///< SMInfo exchanges this round
+};
+
+/// Coordinates the candidates of one subnet. The master candidate drives a
+/// real SubnetManager; on failover the new master inherits the subnet (it
+/// re-discovers and re-routes, like OpenSM taking over).
+class SmElection {
+ public:
+  /// `fabric` outlives the election. The engine factory supplies a routing
+  /// engine for whichever candidate becomes master.
+  SmElection(Fabric& fabric,
+             std::function<std::unique_ptr<routing::RoutingEngine>()>
+                 engine_factory);
+
+  /// Registers a candidate; qp0_usable=false models a Shared Port VF.
+  std::size_t add_candidate(NodeId node, std::uint8_t priority,
+                            bool qp0_usable = true);
+
+  [[nodiscard]] const std::vector<SmCandidate>& candidates() const noexcept {
+    return candidates_;
+  }
+
+  /// Runs the election: the highest (priority, GUID) among qp0-usable,
+  /// alive candidates becomes master; everyone else healthy is standby.
+  ElectionReport elect();
+
+  /// Marks a candidate dead (its node crashed or was cut off). Does not
+  /// re-elect by itself — poll() notices, like a real standby would.
+  void fail_candidate(std::size_t index);
+
+  /// One SMInfo polling round: standbys probe the master; if it is dead (or
+  /// unreachable), a new election runs and the winner performs a takeover
+  /// sweep. Returns the (possibly new) election state.
+  ElectionReport poll();
+
+  /// The master's subnet manager (nullptr before the first election).
+  [[nodiscard]] SubnetManager* master_sm() noexcept { return sm_.get(); }
+
+  /// Full sweep by the current master (discovery, LIDs, routes, LFTs).
+  SweepReport master_sweep();
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> pick_winner() const;
+  void promote(std::size_t index);
+
+  Fabric& fabric_;
+  std::function<std::unique_ptr<routing::RoutingEngine>()> engine_factory_;
+  std::vector<SmCandidate> candidates_;
+  std::vector<bool> alive_;
+  std::optional<std::size_t> master_;
+  std::unique_ptr<SubnetManager> sm_;
+  std::uint64_t sminfo_smps_ = 0;
+};
+
+}  // namespace ibvs::sm

@@ -1,0 +1,77 @@
+// Multicast group management (IBA §10.5 / OpenSM's osm_mcast_mgr,
+// simplified to the parts that interact with the vSwitch architecture).
+//
+// Endpoints join multicast groups; each group gets an MLID (0xC000..) and a
+// spanning tree over the switches connecting all member attachment points.
+// Every switch on the tree holds an MFT port mask: tree ports plus member
+// delivery ports. Distribution is diff-based per (32-MLID block, 16-port
+// position) slice, mirroring the unicast machinery.
+//
+// The vSwitch tie-in: when a VM live-migrates, its LID stays — but its
+// *attachment point* moves, so the trees of groups it belongs to must be
+// recomputed (refresh_after_move()). This is the natural companion to the
+// paper's unicast reconfiguration, and like it, the cost is a handful of
+// MFT slices on the switches whose masks change, not a full multicast
+// rebuild.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sm/subnet_manager.hpp"
+
+namespace ibvs::sm {
+
+struct McGroup {
+  Lid mlid;
+  Guid mgid;  ///< group id (modeled as a 64-bit value)
+  std::set<Lid> members;  ///< member port LIDs (unicast)
+};
+
+struct McDistribution {
+  std::uint64_t smps = 0;           ///< MFT slice writes sent
+  std::size_t switches_touched = 0;
+  double time_us = 0.0;
+};
+
+class McGroupManager {
+ public:
+  explicit McGroupManager(SubnetManager& sm) : sm_(sm) {}
+
+  /// Creates a group; the MLID is the lowest free multicast LID.
+  Lid create_group(Guid mgid);
+
+  /// Joins the endpoint owning `member_lid`. Recomputes the group's tree in
+  /// the master MFTs (push with distribute()).
+  void join(Lid mlid, Lid member_lid);
+  void leave(Lid mlid, Lid member_lid);
+
+  [[nodiscard]] const McGroup& group(Lid mlid) const;
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return groups_.size();
+  }
+
+  /// Recomputes the trees of every group containing `member_lid` — called
+  /// after the member's attachment moved (VM live migration).
+  void refresh_after_move(Lid member_lid);
+
+  /// Sends every master MFT slice that differs from the installed one.
+  McDistribution distribute(SmpRouting routing = SmpRouting::kDirected);
+
+  /// Recomputes every group's tree (e.g. after a topology change).
+  void recompute_all();
+
+ private:
+  void recompute_tree(McGroup& group);
+
+  SubnetManager& sm_;
+  std::unordered_map<std::uint16_t, McGroup> groups_;  // keyed by MLID
+  /// Master MFTs, keyed by fabric NodeId of the physical switch.
+  std::unordered_map<NodeId, Mft> master_;
+  std::uint16_t next_mlid_ = kFirstMulticastLid;
+};
+
+}  // namespace ibvs::sm

@@ -1,0 +1,69 @@
+#include "sm/sa.hpp"
+
+namespace ibvs::sm {
+
+std::optional<PathRecord> SaService::query(Lid src, Guid dst_guid) {
+  ++queries_;
+  if (!sm_.has_routing()) return std::nullopt;
+  const Fabric& fabric = sm_.fabric();
+  const LidMap& lids = sm_.lids();
+
+  const auto dst_node = fabric.find_ca_by_guid(dst_guid);
+  if (!dst_node) return std::nullopt;
+  const Lid dst = fabric.node(*dst_node).lid();
+  if (!dst.valid()) return std::nullopt;
+
+  const auto& routing = sm_.routing_result();
+  const auto src_attach = lids.attachment(fabric, src);
+  const auto dst_attach = lids.attachment(fabric, dst);
+  if (!src_attach || !dst_attach) return std::nullopt;
+  const auto src_sw = routing.graph.dense(src_attach->first);
+  const auto dst_sw = routing.graph.dense(dst_attach->first);
+  if (src_sw == routing::kNoSwitch || dst_sw == routing::kNoSwitch)
+    return std::nullopt;
+
+  PathRecord record;
+  record.slid = src;
+  record.dlid = dst;
+  record.dguid = dst_guid;
+  record.sl = routing.vl_for(src_sw, dst, dst_sw);
+
+  // Walk the master tables for the hop count.
+  routing::SwitchIdx x = src_sw;
+  std::size_t hops = 0;
+  const std::size_t guard = routing.graph.num_switches() + 1;
+  while (x != dst_sw && hops < guard) {
+    const PortNum port = routing.lfts[x].get(dst);
+    const std::uint32_t e = routing.graph.edge_of(x, port);
+    if (port == kDropPort || e == routing::SwitchGraph::kNoEdge)
+      return std::nullopt;
+    x = routing.graph.edges[e].to;
+    ++hops;
+  }
+  if (x != dst_sw) return std::nullopt;
+  record.hops = static_cast<std::uint8_t>(hops);
+  return record;
+}
+
+std::optional<PathRecord> PathRecordCache::resolve(Lid src, Guid dst_guid) {
+  const std::uint64_t key =
+      dst_guid.value() ^ (static_cast<std::uint64_t>(src.value()) << 48);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Is the cached GUID -> LID binding still true? With vSwitch migration
+    // it is (the VM carried its LID); with Shared Port it is not.
+    const auto node = sm_.fabric().find_ca_by_guid(dst_guid);
+    if (node && sm_.fabric().node(*node).lid() == it->second.dlid) {
+      ++hits_;
+      return it->second;
+    }
+    ++stale_;
+    cache_.erase(it);
+  }
+  ++misses_;
+  auto record = sa_.query(src, dst_guid);
+  if (record) cache_[key] = *record;
+  return record;
+}
+
+}  // namespace ibvs::sm

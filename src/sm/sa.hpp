@@ -1,0 +1,78 @@
+// Subnet Administration (SA) path-record service with client-side caching.
+//
+// When a VM live-migrates, peers that lose the connection normally flood the
+// SA with PathRecord queries to rediscover the destination (§I). The
+// companion work the paper builds on (Tasoulas et al., CCGrid 2015 [10])
+// showed that when each VM *keeps its addresses* across the migration — the
+// very property the vSwitch architecture provides — peers can answer from a
+// local cache: the GUID -> LID binding did not change, so the cached record
+// is still valid. Under the Shared Port model the LID changes with the
+// hypervisor, the cached record goes stale, and the peer must re-query.
+// This module provides both halves so the benches can quantify the saved
+// queries per migration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "sm/subnet_manager.hpp"
+
+namespace ibvs::sm {
+
+struct PathRecord {
+  Lid slid;
+  Lid dlid;
+  std::uint8_t sl = 0;    ///< service level (maps to the VL layer)
+  std::uint8_t hops = 0;  ///< path length, switch hops
+  Guid dguid;             ///< destination GUID the record resolves
+};
+
+/// The SA service: resolves (src LID, destination GUID) against the SM's
+/// current state, like a real PathRecord query by GID. Counts queries — the
+/// load the cache is designed to remove.
+class SaService {
+ public:
+  explicit SaService(const SubnetManager& sm) : sm_(sm) {}
+
+  /// PathRecord query by destination GUID (or alias/vGUID).
+  std::optional<PathRecord> query(Lid src, Guid dst_guid);
+
+  [[nodiscard]] std::uint64_t queries_served() const noexcept {
+    return queries_;
+  }
+
+ private:
+  const SubnetManager& sm_;
+  std::uint64_t queries_ = 0;
+};
+
+/// Client-side cache in the spirit of [10], keyed by (src LID, dst GUID).
+/// resolve() consults the cache first and verifies the cached LID still
+/// belongs to the GUID (in reality the client notices via a failed connect;
+/// the simulation checks directly). A still-valid record is a hit with zero
+/// SA traffic — the vSwitch case. A changed binding is a stale hit: the
+/// record is dropped and the SA is queried — the Shared Port case.
+class PathRecordCache {
+ public:
+  PathRecordCache(SaService& sa, const SubnetManager& sm)
+      : sa_(sa), sm_(sm) {}
+
+  std::optional<PathRecord> resolve(Lid src, Guid dst_guid);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t stale_hits() const noexcept { return stale_; }
+
+  void invalidate_all() noexcept { cache_.clear(); }
+
+ private:
+  SaService& sa_;
+  const SubnetManager& sm_;
+  std::unordered_map<std::uint64_t, PathRecord> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stale_ = 0;
+};
+
+}  // namespace ibvs::sm

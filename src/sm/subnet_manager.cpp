@@ -1,0 +1,205 @@
+#include "sm/subnet_manager.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibvs::sm {
+
+SubnetManager::SubnetManager(Fabric& fabric, NodeId sm_host,
+                             std::unique_ptr<routing::RoutingEngine> engine,
+                             fabric::TimingModel timing)
+    : fabric_(fabric),
+      transport_(fabric, sm_host, timing),
+      engine_(std::move(engine)) {
+  IBVS_REQUIRE(engine_ != nullptr, "a routing engine is required");
+}
+
+void SubnetManager::set_engine(
+    std::unique_ptr<routing::RoutingEngine> engine) {
+  IBVS_REQUIRE(engine != nullptr, "a routing engine is required");
+  engine_ = std::move(engine);
+}
+
+DiscoveryReport SubnetManager::discover() {
+  DiscoveryReport report;
+  const std::uint64_t smps_before = transport_.counters().total;
+  // Directed-route BFS from the SM host: each node costs one Get(NodeInfo)
+  // (plus Get(SwitchInfo) for switches), each connected port one
+  // Get(PortInfo). Hop counts follow the BFS depth, as directed routes do.
+  std::vector<std::uint32_t> depth(fabric_.size(), ~0u);
+  std::vector<NodeId> queue;
+  const NodeId start = transport_.sm_node();
+  depth[start] = 0;
+  queue.push_back(start);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const Node& n = fabric_.node(u);
+    ++report.nodes_found;
+    if (n.is_switch()) {
+      ++report.switches_found;
+    } else {
+      ++report.cas_found;
+    }
+    transport_.send_discovery_get(u, SmpAttribute::kNodeInfo, depth[u]);
+    if (n.is_switch()) {
+      transport_.send_discovery_get(u, SmpAttribute::kSwitchInfo, depth[u]);
+    }
+    const bool forwards = n.is_switch() || u == start;
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      const Port& port = n.ports[p];
+      if (!port.connected()) continue;
+      transport_.send_discovery_get(u, SmpAttribute::kPortInfo, depth[u]);
+      if (forwards && depth[port.peer] == ~0u) {
+        depth[port.peer] = depth[u] + 1;
+        queue.push_back(port.peer);
+      }
+    }
+  }
+  report.smps = transport_.counters().total - smps_before;
+  return report;
+}
+
+Lid SubnetManager::assign_lid(NodeId node, PortNum port) {
+  const Lid lid = lids_.assign_next(fabric_, node, port);
+  transport_.send_port_info_set(node, port);
+  return lid;
+}
+
+std::size_t SubnetManager::adopt_lids() {
+  std::size_t adopted = 0;
+  const auto adopt = [&](NodeId id, PortNum port) {
+    const Lid base = fabric_.node(id).ports[port].lid;
+    if (!base.valid()) return;
+    const std::uint32_t width = 1u << fabric_.node(id).ports[port].lmc;
+    for (std::uint32_t v = base.value(); v < base.value() + width; ++v) {
+      const Lid lid{static_cast<std::uint16_t>(v)};
+      if (!lids_.assigned(lid)) {
+        lids_.assign(fabric_, id, port, lid);
+        ++adopted;
+      }
+    }
+    // assign() mirrors each LID into the port; restore the block's base.
+    fabric_.set_lid(id, port, base);
+  };
+  // CAs first so a shared PF/vSwitch LID is owned by the PF endpoint.
+  for (NodeId id = 0; id < fabric_.size(); ++id) {
+    const Node& n = fabric_.node(id);
+    if (!n.is_ca()) continue;
+    for (PortNum p = 1; p <= n.num_ports(); ++p) adopt(id, p);
+  }
+  for (NodeId id = 0; id < fabric_.size(); ++id) {
+    if (fabric_.node(id).is_physical_switch()) adopt(id, 0);
+  }
+  return adopted;
+}
+
+std::size_t SubnetManager::assign_lids() {
+  adopt_lids();
+  std::size_t assigned = 0;
+  for (NodeId id = 0; id < fabric_.size(); ++id) {
+    const Node& n = fabric_.node(id);
+    if (n.is_physical_switch()) {
+      if (!n.lid().valid()) {
+        assign_lid(id, 0);
+        ++assigned;
+      }
+    } else if (n.is_ca() && n.role != CaRole::kVf) {
+      // Plain hosts and PFs get LIDs here; VF addressing is policy —
+      // prepopulated vs dynamic — and owned by the vSwitch layer.
+      for (PortNum p = 1; p <= n.num_ports(); ++p) {
+        if (n.ports[p].connected() && !n.ports[p].lid.valid()) {
+          assign_lid(id, p);
+          ++assigned;
+        }
+      }
+    }
+  }
+  // vSwitches mirror their PF's LID (no LidMap entry, no LFT target).
+  for (NodeId id = 0; id < fabric_.size(); ++id) {
+    const Node& n = fabric_.node(id);
+    if (!n.is_vswitch()) continue;
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      const Port& port = n.ports[p];
+      if (!port.connected()) continue;
+      const Node& peer = fabric_.node(port.peer);
+      if (peer.is_ca() && peer.role == CaRole::kPf) {
+        fabric_.set_lid(id, 0, peer.lid());
+        break;
+      }
+    }
+  }
+  return assigned;
+}
+
+const routing::RoutingResult& SubnetManager::compute_routes() {
+  routing_ = engine_->compute(fabric_, lids_);
+  routing_ready_ = true;
+  ++generation_;
+  return routing_;
+}
+
+DistributionReport SubnetManager::distribute_lfts(SmpRouting routing) {
+  IBVS_REQUIRE(routing_ready_, "compute_routes() must run first");
+  DistributionReport report;
+  transport_.begin_batch();
+  const auto& g = routing_.graph;
+  for (routing::SwitchIdx s = 0; s < g.num_switches(); ++s) {
+    const NodeId node = g.switches[s];
+    const Lft& master = routing_.lfts[s];
+    const Lft& installed = fabric_.node(node).lft;
+    bool touched = false;
+    for (std::size_t b = 0; b < master.block_count(); ++b) {
+      if (!master.block_differs(installed, b)) {
+        ++report.blocks_skipped;
+        continue;
+      }
+      transport_.send_lft_block(node, static_cast<std::uint32_t>(b),
+                                master.block(b), routing);
+      ++report.smps;
+      touched = true;
+    }
+    if (touched) ++report.switches_touched;
+  }
+  report.time_us = transport_.end_batch();
+  return report;
+}
+
+SweepReport SubnetManager::full_sweep() {
+  SweepReport report;
+  report.discovery = discover();
+  report.lids_assigned = assign_lids();
+  compute_routes();
+  report.path_computation_seconds = routing_.compute_seconds;
+  report.distribution = distribute_lfts();
+  return report;
+}
+
+void SubnetManager::update_master_entry(routing::SwitchIdx sw, Lid lid,
+                                        PortNum port) {
+  IBVS_REQUIRE(routing_ready_, "no master tables yet");
+  IBVS_REQUIRE(sw < routing_.lfts.size(), "switch index out of range");
+  routing_.lfts[sw].set(lid, port);
+}
+
+void SubnetManager::refresh_targets() {
+  IBVS_REQUIRE(routing_ready_, "no master tables yet");
+  routing_.graph.rebuild_targets(fabric_, lids_);
+}
+
+std::uint64_t SubnetManager::push_dirty_blocks(routing::SwitchIdx sw,
+                                               SmpRouting routing) {
+  IBVS_REQUIRE(routing_ready_, "no master tables yet");
+  Lft& master = routing_.lfts[sw];
+  const NodeId node = routing_.graph.switches[sw];
+  std::uint64_t sent = 0;
+  for (std::size_t b : master.dirty_blocks()) {
+    transport_.send_lft_block(node, static_cast<std::uint32_t>(b),
+                              master.block(b), routing);
+    ++sent;
+  }
+  master.clear_dirty();
+  return sent;
+}
+
+}  // namespace ibvs::sm

@@ -1,0 +1,138 @@
+// OpenSM-like subnet manager.
+//
+// Owns the management view of the subnet: the LID map, the chosen routing
+// engine, and the *computed* (master) LFTs. A sweep performs the classic
+// four stages, each individually measurable because the paper's cost model
+// (eq. 1: RCt = PCt + LFTDt) splits exactly there:
+//
+//   1. discovery      — directed-route sweep, one Get(NodeInfo) per node +
+//                       one Get(PortInfo) per connected port,
+//   2. LID assignment — PortInfo Set per newly addressed port,
+//   3. path computation (PCt) — the routing engine run,
+//   4. LFT distribution (LFTDt) — per switch, send only the 64-entry blocks
+//                       that differ from what the switch already has.
+//
+// The vSwitch layer (src/core) drives the same SubnetManager for its
+// reconfigurations, writing individual LFT entries through
+// update_lft_entry() so master state and hardware state stay in lockstep.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fabric/transport.hpp"
+#include "ib/fabric.hpp"
+#include "ib/lid_map.hpp"
+#include "routing/engine.hpp"
+
+namespace ibvs::sm {
+
+struct DiscoveryReport {
+  std::size_t nodes_found = 0;
+  std::size_t switches_found = 0;
+  std::size_t cas_found = 0;
+  std::uint64_t smps = 0;
+};
+
+struct DistributionReport {
+  std::uint64_t smps = 0;          ///< LFT block writes actually sent
+  std::uint64_t blocks_skipped = 0;  ///< blocks already up to date
+  std::size_t switches_touched = 0;
+  double time_us = 0.0;  ///< batch makespan under the timing model
+};
+
+struct SweepReport {
+  DiscoveryReport discovery;
+  std::size_t lids_assigned = 0;
+  double path_computation_seconds = 0.0;  ///< PCt
+  DistributionReport distribution;        ///< LFTDt lives here
+
+  [[nodiscard]] double reconfiguration_time_us() const noexcept {
+    return path_computation_seconds * 1e6 + distribution.time_us;
+  }
+};
+
+class SubnetManager {
+ public:
+  /// The SM runs on `sm_host` (a CA endpoint, like a dedicated SM node or a
+  /// hypervisor PF — never a VM VF: the Shared Port model forbids that and
+  /// the vSwitch model would allow it, see §IV).
+  SubnetManager(Fabric& fabric, NodeId sm_host,
+                std::unique_ptr<routing::RoutingEngine> engine,
+                fabric::TimingModel timing = {});
+
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] LidMap& lids() noexcept { return lids_; }
+  [[nodiscard]] const LidMap& lids() const noexcept { return lids_; }
+  [[nodiscard]] fabric::SmpTransport& transport() noexcept {
+    return transport_;
+  }
+  [[nodiscard]] routing::RoutingEngine& engine() noexcept { return *engine_; }
+  void set_engine(std::unique_ptr<routing::RoutingEngine> engine);
+
+  /// Directed-route BFS over the fabric, counting discovery SMPs.
+  DiscoveryReport discover();
+
+  /// Adopts LIDs already programmed into the fabric's ports (what a real
+  /// OpenSM does when taking over a running subnet: honor existing
+  /// assignments read back via PortInfo). Returns how many were adopted.
+  /// Idempotent; called automatically by assign_lids().
+  std::size_t adopt_lids();
+
+  /// Assigns LIDs to every unaddressed switch (port 0) and CA port, in node
+  /// order, after adopting existing ones. vSwitches share their PF's LID
+  /// (§V: "the vSwitch does not need to occupy an additional LID").
+  /// Returns how many were newly assigned.
+  std::size_t assign_lids();
+
+  /// Assigns a LID to one port and accounts the PortInfo SMP.
+  Lid assign_lid(NodeId node, PortNum port);
+
+  /// Runs the routing engine; stores the result as the master tables.
+  const routing::RoutingResult& compute_routes();
+
+  /// Sends every master LFT block that differs from the installed one.
+  DistributionReport distribute_lfts(
+      SmpRouting routing = SmpRouting::kDirected);
+
+  /// discover + assign_lids + compute_routes + distribute_lfts.
+  SweepReport full_sweep();
+
+  /// Master tables of the last compute_routes() (empty before the first).
+  [[nodiscard]] const routing::RoutingResult& routing_result() const {
+    return routing_;
+  }
+  [[nodiscard]] bool has_routing() const noexcept { return routing_ready_; }
+
+  /// Rewrites one master LFT entry (no SMP — the caller decides when and
+  /// how to push blocks to hardware). Used by the vSwitch reconfigurators.
+  void update_master_entry(routing::SwitchIdx sw, Lid lid, PortNum port);
+
+  /// Refreshes the routing result's LID target list after LIDs were
+  /// created, destroyed or moved without a full recompute.
+  void refresh_targets();
+
+  /// Pushes the master blocks containing `lid` (and any other dirty blocks
+  /// of that switch) to the hardware of switch `sw`. Returns SMPs sent.
+  std::uint64_t push_dirty_blocks(routing::SwitchIdx sw, SmpRouting routing);
+
+  /// Monotone generation counter, bumped whenever routes change; the SA
+  /// cache uses it for invalidation.
+  [[nodiscard]] std::uint64_t routing_generation() const noexcept {
+    return generation_;
+  }
+  void bump_generation() noexcept { ++generation_; }
+
+ private:
+  Fabric& fabric_;
+  LidMap lids_;
+  fabric::SmpTransport transport_;
+  std::unique_ptr<routing::RoutingEngine> engine_;
+  routing::RoutingResult routing_;
+  bool routing_ready_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace ibvs::sm

@@ -1,0 +1,107 @@
+#include "topology/export.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace ibvs::topology {
+
+std::string to_dot(const Fabric& fabric) {
+  std::ostringstream os;
+  os << "graph fabric {\n";
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    os << "  n" << id << " [label=\"" << n.name << "\" shape="
+       << (n.is_switch() ? (n.is_vswitch() ? "diamond" : "box") : "ellipse")
+       << "];\n";
+  }
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      const Port& port = n.ports[p];
+      if (!port.connected()) continue;
+      if (port.peer < id || (port.peer == id && port.peer_port < p)) continue;
+      os << "  n" << id << " -- n" << port.peer << " [taillabel=\"" << int(p)
+         << "\" headlabel=\"" << int(port.peer_port) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_link_list(const Fabric& fabric) {
+  std::ostringstream os;
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      const Port& port = n.ports[p];
+      if (!port.connected()) continue;
+      if (port.peer < id) continue;  // list each cable once
+      os << n.name << " " << int(p) << " " << fabric.node(port.peer).name
+         << " " << int(port.peer_port) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Fabric from_link_list(const std::string& text,
+                      const std::vector<std::string>& switch_names) {
+  Fabric fabric;
+  std::map<std::string, NodeId> by_name;
+
+  const auto looks_like_switch = [&](const std::string& name) {
+    for (const auto& known : switch_names) {
+      if (known == name) return true;
+    }
+    for (const char* prefix :
+         {"sw", "leaf", "spine", "core", "ring", "torus", "pod"}) {
+      if (name.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  const auto node_of = [&](const std::string& name) {
+    const auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    const NodeId id = looks_like_switch(name)
+                          ? fabric.add_switch(name, 36)
+                          : fabric.add_ca(name);
+    by_name.emplace(name, id);
+    return id;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string a_name;
+    std::string b_name;
+    int a_port = 0;
+    int b_port = 0;
+    if (!(fields >> a_name >> a_port >> b_name >> b_port)) {
+      throw std::invalid_argument("malformed link list line " +
+                                  std::to_string(line_no) + ": " + line);
+    }
+    IBVS_REQUIRE(a_port >= 1 && a_port <= 254 && b_port >= 1 &&
+                     b_port <= 254,
+                 "port out of range in link list");
+    fabric.connect(node_of(a_name), static_cast<PortNum>(a_port),
+                   node_of(b_name), static_cast<PortNum>(b_port));
+  }
+  fabric.validate();
+  return fabric;
+}
+
+std::string summary(const Fabric& fabric) {
+  std::ostringstream os;
+  os << fabric.size() << " nodes: " << fabric.num_switches(true)
+     << " physical switches, "
+     << (fabric.num_switches(false) - fabric.num_switches(true))
+     << " vswitches, " << fabric.num_cas() << " CAs";
+  return os.str();
+}
+
+}  // namespace ibvs::topology

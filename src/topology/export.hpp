@@ -1,0 +1,30 @@
+// Textual exports of a fabric for debugging and documentation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ib/fabric.hpp"
+
+namespace ibvs::topology {
+
+/// Graphviz DOT rendering: switches as boxes, CAs as ellipses, one edge per
+/// cable. Suitable for small fabrics.
+std::string to_dot(const Fabric& fabric);
+
+/// One line per cable: "<node> <port> <peer> <peer_port>", similar in spirit
+/// to an ibnetdiscover dump. Deterministic order, each cable listed once.
+std::string to_link_list(const Fabric& fabric);
+
+/// Summary line: node/switch/CA counts.
+std::string summary(const Fabric& fabric);
+
+/// Rebuilds a fabric from a link list produced by to_link_list() (or written
+/// by hand, ibnetdiscover style). Node names starting with "sw"/"leaf"/
+/// "spine"/"core"/"ring"/"torus" (or listed in `switch_names`) become
+/// 36-port switches, everything else single-port CAs. Round-trips with
+/// to_link_list(). Throws std::invalid_argument on malformed input.
+Fabric from_link_list(const std::string& text,
+                      const std::vector<std::string>& switch_names = {});
+
+}  // namespace ibvs::topology

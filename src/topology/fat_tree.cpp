@@ -1,0 +1,170 @@
+#include "topology/fat_tree.hpp"
+
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace ibvs::topology {
+
+Built build_two_level_fat_tree(Fabric& fabric, const TwoLevelParams& p) {
+  IBVS_REQUIRE(p.num_leaves > 0 && p.num_spines > 0, "empty tree");
+  const std::size_t uplinks = p.num_spines * p.links_per_spine;
+  IBVS_REQUIRE(p.hosts_per_leaf + uplinks <= p.radix,
+               "leaf radix exceeded: hosts + uplinks > ports");
+  IBVS_REQUIRE(p.num_leaves * p.links_per_spine <= p.radix,
+               "spine radix exceeded");
+
+  Built built;
+  built.leaves.reserve(p.num_leaves);
+  built.spines.reserve(p.num_spines);
+
+  for (std::size_t i = 0; i < p.num_leaves; ++i) {
+    built.leaves.push_back(
+        fabric.add_switch("leaf-" + std::to_string(i), p.radix));
+  }
+  for (std::size_t i = 0; i < p.num_spines; ++i) {
+    built.spines.push_back(
+        fabric.add_switch("spine-" + std::to_string(i), p.radix));
+  }
+
+  // Host ports first (1..hosts_per_leaf), then uplinks; keeping the port
+  // numbering stable makes test expectations and DOT dumps readable.
+  for (std::size_t l = 0; l < p.num_leaves; ++l) {
+    for (std::size_t h = 0; h < p.hosts_per_leaf; ++h) {
+      built.host_slots.push_back(
+          HostSlot{built.leaves[l], static_cast<PortNum>(1 + h)});
+    }
+    std::size_t up_port = p.hosts_per_leaf + 1;
+    for (std::size_t s = 0; s < p.num_spines; ++s) {
+      for (std::size_t k = 0; k < p.links_per_spine; ++k) {
+        const PortNum spine_port =
+            static_cast<PortNum>(1 + l * p.links_per_spine + k);
+        fabric.connect(built.leaves[l], static_cast<PortNum>(up_port++),
+                       built.spines[s], spine_port);
+      }
+    }
+  }
+  return built;
+}
+
+Built build_three_level_fat_tree(Fabric& fabric, const ThreeLevelParams& p) {
+  IBVS_REQUIRE(p.num_pods > 0 && p.leaves_per_pod > 0 && p.spines_per_pod > 0,
+               "empty tree");
+  IBVS_REQUIRE(p.hosts_per_leaf + p.spines_per_pod <= p.radix,
+               "leaf radix exceeded");
+  IBVS_REQUIRE(p.leaves_per_pod * 2 <= p.radix + p.leaves_per_pod &&
+                   p.leaves_per_pod <= p.radix,
+               "pod spine radix exceeded");
+  IBVS_REQUIRE(p.num_cores == p.spines_per_pod * p.leaves_per_pod ||
+                   p.num_cores > 0,
+               "core count");
+  IBVS_REQUIRE(p.num_pods <= p.radix, "core radix exceeded: one link per pod");
+
+  Built built;
+  for (std::size_t pod = 0; pod < p.num_pods; ++pod) {
+    std::vector<NodeId> pod_leaves;
+    std::vector<NodeId> pod_spines;
+    for (std::size_t l = 0; l < p.leaves_per_pod; ++l) {
+      pod_leaves.push_back(fabric.add_switch(
+          "pod" + std::to_string(pod) + "-leaf" + std::to_string(l), p.radix));
+    }
+    for (std::size_t s = 0; s < p.spines_per_pod; ++s) {
+      pod_spines.push_back(fabric.add_switch(
+          "pod" + std::to_string(pod) + "-spine" + std::to_string(s),
+          p.radix));
+    }
+    // Leaf <-> pod-spine full bipartite mesh.
+    for (std::size_t l = 0; l < p.leaves_per_pod; ++l) {
+      for (std::size_t h = 0; h < p.hosts_per_leaf; ++h) {
+        built.host_slots.push_back(
+            HostSlot{pod_leaves[l], static_cast<PortNum>(1 + h)});
+      }
+      for (std::size_t s = 0; s < p.spines_per_pod; ++s) {
+        fabric.connect(pod_leaves[l],
+                       static_cast<PortNum>(1 + p.hosts_per_leaf + s),
+                       pod_spines[s], static_cast<PortNum>(1 + l));
+      }
+    }
+    built.leaves.insert(built.leaves.end(), pod_leaves.begin(),
+                        pod_leaves.end());
+    built.spines.insert(built.spines.end(), pod_spines.begin(),
+                        pod_spines.end());
+  }
+
+  const std::size_t core_uplinks = p.num_cores / p.spines_per_pod;
+  IBVS_REQUIRE(core_uplinks > 0 && p.num_cores % p.spines_per_pod == 0,
+               "cores must divide evenly across pod spines");
+  for (std::size_t c = 0; c < p.num_cores; ++c) {
+    built.cores.push_back(
+        fabric.add_switch("core-" + std::to_string(c), p.radix));
+  }
+  // Pod spine s, uplink u -> core s*core_uplinks + u; the core port is the
+  // pod index, so each core has exactly one link into every pod.
+  for (std::size_t pod = 0; pod < p.num_pods; ++pod) {
+    for (std::size_t s = 0; s < p.spines_per_pod; ++s) {
+      const NodeId spine = built.spines[pod * p.spines_per_pod + s];
+      for (std::size_t u = 0; u < core_uplinks; ++u) {
+        const NodeId core = built.cores[s * core_uplinks + u];
+        fabric.connect(spine,
+                       static_cast<PortNum>(1 + p.leaves_per_pod + u),
+                       core, static_cast<PortNum>(1 + pod));
+      }
+    }
+  }
+  return built;
+}
+
+Built build_paper_fat_tree(Fabric& fabric, PaperFatTree which) {
+  switch (which) {
+    case PaperFatTree::k324:
+      return build_two_level_fat_tree(
+          fabric, TwoLevelParams{.num_leaves = 18,
+                                 .num_spines = 18,
+                                 .hosts_per_leaf = 18,
+                                 .radix = 36});
+    case PaperFatTree::k648:
+      return build_two_level_fat_tree(
+          fabric, TwoLevelParams{.num_leaves = 36,
+                                 .num_spines = 18,
+                                 .hosts_per_leaf = 18,
+                                 .radix = 36});
+    case PaperFatTree::k5832:
+      return build_three_level_fat_tree(
+          fabric, ThreeLevelParams{.num_pods = 18,
+                                   .leaves_per_pod = 18,
+                                   .spines_per_pod = 18,
+                                   .num_cores = 324,
+                                   .hosts_per_leaf = 18,
+                                   .radix = 36});
+    case PaperFatTree::k11664:
+      return build_three_level_fat_tree(
+          fabric, ThreeLevelParams{.num_pods = 36,
+                                   .leaves_per_pod = 18,
+                                   .spines_per_pod = 18,
+                                   .num_cores = 324,
+                                   .hosts_per_leaf = 18,
+                                   .radix = 36});
+  }
+  throw std::invalid_argument("unknown paper fat-tree");
+}
+
+std::vector<PaperFatTree> all_paper_fat_trees() {
+  return {PaperFatTree::k324, PaperFatTree::k648, PaperFatTree::k5832,
+          PaperFatTree::k11664};
+}
+
+std::string to_string(PaperFatTree which) {
+  switch (which) {
+    case PaperFatTree::k324:
+      return "2-level fat-tree, 324 nodes";
+    case PaperFatTree::k648:
+      return "2-level fat-tree, 648 nodes";
+    case PaperFatTree::k5832:
+      return "3-level fat-tree, 5832 nodes";
+    case PaperFatTree::k11664:
+      return "3-level fat-tree, 11664 nodes";
+  }
+  return "?";
+}
+
+}  // namespace ibvs::topology

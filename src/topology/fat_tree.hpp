@@ -1,0 +1,90 @@
+// Fat-tree topology builders.
+//
+// The paper's evaluation (§VII-C, Fig. 7, Table I) uses four regular
+// fat-trees built from 36-port switches:
+//
+//   | nodes | switches | structure                                    |
+//   |-------|----------|----------------------------------------------|
+//   | 324   | 36       | 2 levels: 18 leaves (18 hosts) + 18 spines   |
+//   | 648   | 54       | 2 levels: 36 leaves (18 hosts) + 18 spines   |
+//   | 5832  | 972      | 3 levels: 18 pods (18+18 switches) + 324 core|
+//   | 11664 | 1620     | 3 levels: 36 pods (18+18 switches) + 324 core|
+//
+// The builders create only the switch fabric and return the attachment
+// points for hosts; plain hosts are attached via topology/hosts.hpp and
+// virtualized (vSwitch) hypervisors via core/virtualizer.hpp. This split
+// lets every experiment reuse the same switch fabric under either model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ib/fabric.hpp"
+
+namespace ibvs::topology {
+
+/// A free leaf-switch port where one host (or hypervisor) can be cabled.
+struct HostSlot {
+  NodeId leaf = kInvalidNode;
+  PortNum port = 0;
+};
+
+/// Result of building a switch fabric: the switches by tier plus where
+/// hosts may attach.
+struct Built {
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;  ///< tier-2 (pod spines for 3-level trees)
+  std::vector<NodeId> cores;   ///< tier-3, empty for 2-level trees
+  std::vector<HostSlot> host_slots;
+
+  [[nodiscard]] std::size_t num_switches() const noexcept {
+    return leaves.size() + spines.size() + cores.size();
+  }
+};
+
+struct TwoLevelParams {
+  std::size_t num_leaves = 18;
+  std::size_t num_spines = 18;
+  std::size_t hosts_per_leaf = 18;
+  std::size_t radix = 36;  ///< switch port count
+  /// Uplinks from each leaf to each spine (1 for the paper's trees).
+  std::size_t links_per_spine = 1;
+};
+
+/// Builds a 2-level fat-tree: every leaf connects `links_per_spine` times to
+/// every spine.
+Built build_two_level_fat_tree(Fabric& fabric, const TwoLevelParams& params);
+
+struct ThreeLevelParams {
+  std::size_t num_pods = 18;
+  std::size_t leaves_per_pod = 18;
+  std::size_t spines_per_pod = 18;
+  std::size_t num_cores = 324;
+  std::size_t hosts_per_leaf = 18;
+  std::size_t radix = 36;
+};
+
+/// Builds a 3-level fat-tree: inside each pod every leaf connects to every
+/// pod spine; pod spine `s`'s uplink `u` goes to core `s * spines_per_pod
+/// + u`, giving each core exactly one link per pod.
+Built build_three_level_fat_tree(Fabric& fabric,
+                                 const ThreeLevelParams& params);
+
+/// The four evaluation topologies of the paper, by node (host slot) count.
+enum class PaperFatTree : int {
+  k324 = 324,
+  k648 = 648,
+  k5832 = 5832,
+  k11664 = 11664,
+};
+
+/// Builds one of the paper's fat-trees. The returned Built has exactly
+/// `static_cast<int>(which)` host slots and the switch counts of Table I.
+Built build_paper_fat_tree(Fabric& fabric, PaperFatTree which);
+
+[[nodiscard]] std::vector<PaperFatTree> all_paper_fat_trees();
+[[nodiscard]] std::string to_string(PaperFatTree which);
+
+}  // namespace ibvs::topology

@@ -1,0 +1,22 @@
+#include "topology/hosts.hpp"
+
+#include <string>
+
+namespace ibvs::topology {
+
+std::vector<NodeId> attach_hosts(Fabric& fabric,
+                                 const std::vector<HostSlot>& slots,
+                                 std::size_t max_hosts) {
+  const std::size_t count =
+      max_hosts == 0 ? slots.size() : std::min(max_hosts, slots.size());
+  std::vector<NodeId> hosts;
+  hosts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId host = fabric.add_ca("host-" + std::to_string(i));
+    fabric.connect(host, 1, slots[i].leaf, slots[i].port);
+    hosts.push_back(host);
+  }
+  return hosts;
+}
+
+}  // namespace ibvs::topology

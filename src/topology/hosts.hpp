@@ -1,0 +1,23 @@
+// Attaching plain (non-virtualized) hosts to a built switch fabric.
+//
+// Used by the Fig. 7 / Table I experiments, which evaluate the *physical*
+// subnet: each node is one single-port HCA consuming one LID, exactly as the
+// paper counts them (nodes + switches = LIDs consumed). Virtualized
+// hypervisors are attached via core/virtualizer.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ibvs::topology {
+
+/// Creates one single-port CA per host slot (up to `max_hosts`; all slots
+/// when max_hosts == 0) and cables it to its leaf. Returns the CA node ids.
+std::vector<NodeId> attach_hosts(Fabric& fabric,
+                                 const std::vector<HostSlot>& slots,
+                                 std::size_t max_hosts = 0);
+
+}  // namespace ibvs::topology

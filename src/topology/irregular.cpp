@@ -1,0 +1,134 @@
+#include "topology/irregular.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace ibvs::topology {
+
+namespace {
+
+/// Finds the lowest free external port on `node`.
+PortNum free_port(const Fabric& fabric, NodeId node) {
+  const Node& n = fabric.node(node);
+  for (PortNum p = 1; p <= n.num_ports(); ++p) {
+    if (!n.ports[p].connected()) return p;
+  }
+  throw std::runtime_error("node " + n.name + " has no free port");
+}
+
+// Host slots occupy the lowest ports, which the ring/torus builders keep
+// free by cabling switch-to-switch links on the topmost ports.
+void add_host_slots(Built& built, const std::vector<NodeId>& switches,
+                    std::size_t hosts_per_switch) {
+  for (NodeId sw : switches) {
+    for (std::size_t h = 0; h < hosts_per_switch; ++h) {
+      built.host_slots.push_back(HostSlot{sw, static_cast<PortNum>(1 + h)});
+    }
+  }
+}
+
+}  // namespace
+
+Built build_ring(Fabric& fabric, std::size_t num_switches,
+                 std::size_t hosts_per_switch, std::size_t radix) {
+  IBVS_REQUIRE(num_switches >= 3, "a ring needs at least 3 switches");
+  IBVS_REQUIRE(hosts_per_switch + 2 <= radix, "radix too small");
+
+  Built built;
+  for (std::size_t i = 0; i < num_switches; ++i) {
+    built.leaves.push_back(
+        fabric.add_switch("ring-" + std::to_string(i), radix));
+  }
+  // Ring cables occupy the two topmost ports, leaving low ports for hosts.
+  for (std::size_t i = 0; i < num_switches; ++i) {
+    const NodeId a = built.leaves[i];
+    const NodeId b = built.leaves[(i + 1) % num_switches];
+    fabric.connect(a, static_cast<PortNum>(radix), b,
+                   static_cast<PortNum>(radix - 1));
+  }
+  add_host_slots(built, built.leaves, hosts_per_switch);
+  return built;
+}
+
+Built build_torus_2d(Fabric& fabric, std::size_t rows, std::size_t cols,
+                     std::size_t hosts_per_switch, std::size_t radix) {
+  IBVS_REQUIRE(rows >= 3 && cols >= 3,
+               "torus wrap links degenerate below 3x3");
+  IBVS_REQUIRE(hosts_per_switch + 4 <= radix, "radix too small");
+
+  Built built;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      built.leaves.push_back(fabric.add_switch(
+          "torus-" + std::to_string(r) + "-" + std::to_string(c), radix));
+    }
+  }
+  const auto at = [&](std::size_t r, std::size_t c) {
+    return built.leaves[r * cols + c];
+  };
+  // +X links on port radix-0/-1, +Y links on radix-2/-3.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      fabric.connect(at(r, c), static_cast<PortNum>(radix),
+                     at(r, (c + 1) % cols), static_cast<PortNum>(radix - 1));
+      fabric.connect(at(r, c), static_cast<PortNum>(radix - 2),
+                     at((r + 1) % rows, c), static_cast<PortNum>(radix - 3));
+    }
+  }
+  add_host_slots(built, built.leaves, hosts_per_switch);
+  return built;
+}
+
+Built build_irregular(Fabric& fabric, const IrregularParams& p) {
+  IBVS_REQUIRE(p.num_switches >= 2, "need at least two switches");
+  SplitMix64 rng(p.seed);
+
+  Built built;
+  for (std::size_t i = 0; i < p.num_switches; ++i) {
+    built.leaves.push_back(
+        fabric.add_switch("sw-" + std::to_string(i), p.radix));
+  }
+  // Random spanning tree: node i attaches to a random earlier node.
+  for (std::size_t i = 1; i < p.num_switches; ++i) {
+    const NodeId a = built.leaves[i];
+    const NodeId b = built.leaves[rng.below(i)];
+    fabric.connect(a, free_port(fabric, a), b, free_port(fabric, b));
+  }
+  // Random chords; skip pairs that are already cabled or saturated.
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < p.extra_links && attempts < p.extra_links * 20) {
+    ++attempts;
+    const std::size_t i = rng.below(p.num_switches);
+    const std::size_t j = rng.below(p.num_switches);
+    if (i == j) continue;
+    const NodeId a = built.leaves[i];
+    const NodeId b = built.leaves[j];
+    try {
+      const PortNum pa = free_port(fabric, a);
+      const PortNum pb = free_port(fabric, b);
+      fabric.connect(a, pa, b, pb);
+      ++added;
+    } catch (const std::runtime_error&) {
+      continue;  // saturated switch; try another pair
+    }
+  }
+  // Host slots use whatever ports remain free, assigned densely per switch.
+  for (NodeId sw : built.leaves) {
+    std::size_t placed = 0;
+    const Node& n = fabric.node(sw);
+    for (PortNum port = 1;
+         port <= n.num_ports() && placed < p.hosts_per_switch; ++port) {
+      if (!n.ports[port].connected()) {
+        built.host_slots.push_back(HostSlot{sw, port});
+        ++placed;
+      }
+    }
+  }
+  return built;
+}
+
+}  // namespace ibvs::topology

@@ -1,0 +1,42 @@
+// Non-fat-tree topologies.
+//
+// The reconfiguration method of §V-C is *topology agnostic*: it only relies
+// on the vSwitch-shares-the-PF-uplink property, never on tree structure.
+// These builders provide cyclic and irregular fabrics to exercise that claim
+// in tests, and to give the deadlock analyzer (src/deadlock) graphs where
+// cycles in the channel dependency graph actually arise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ibvs::topology {
+
+/// Ring of `num_switches` switches, `hosts_per_switch` host slots each.
+/// The smallest topology whose minimal routing produces a cyclic CDG.
+Built build_ring(Fabric& fabric, std::size_t num_switches,
+                 std::size_t hosts_per_switch, std::size_t radix = 36);
+
+/// 2D torus of `rows` x `cols` switches (wrap-around in both dimensions),
+/// `hosts_per_switch` host slots each.
+Built build_torus_2d(Fabric& fabric, std::size_t rows, std::size_t cols,
+                     std::size_t hosts_per_switch, std::size_t radix = 36);
+
+struct IrregularParams {
+  std::size_t num_switches = 16;
+  std::size_t hosts_per_switch = 4;
+  /// Extra random cables added on top of a random spanning tree.
+  std::size_t extra_links = 8;
+  std::size_t radix = 36;
+  std::uint64_t seed = 42;
+};
+
+/// Random connected switch graph: a random spanning tree plus
+/// `extra_links` random chords. Deterministic for a given seed.
+Built build_irregular(Fabric& fabric, const IrregularParams& params);
+
+}  // namespace ibvs::topology

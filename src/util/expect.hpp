@@ -1,0 +1,45 @@
+// Precondition / invariant checking helpers.
+//
+// Library-boundary violations (bad user arguments) throw std::invalid_argument
+// via IBVS_REQUIRE so callers can recover; internal invariant breaks throw
+// std::logic_error via IBVS_ENSURE because they indicate a bug in this
+// library, not in the caller.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ibvs::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ibvs::detail
+
+/// Validates a caller-supplied argument; throws std::invalid_argument.
+#define IBVS_REQUIRE(expr, message)                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ibvs::detail::throw_require(#expr, __FILE__, __LINE__, (message)); \
+  } while (false)
+
+/// Validates an internal invariant; throws std::logic_error.
+#define IBVS_ENSURE(expr, message)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ibvs::detail::throw_ensure(#expr, __FILE__, __LINE__, (message)); \
+  } while (false)

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+namespace ibvs {
+
+std::atomic<int> Log::level_{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+std::mutex g_emit_mutex;
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::emit(LogLevel level, std::string_view component,
+               std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::clog << "[" << level_tag(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace ibvs

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in the library (random topologies, randomized
+// placement, fault injection in tests) flow through SplitMix64 so that every
+// experiment is reproducible from a single seed. SplitMix64 is tiny, fast,
+// and has no shared state, which keeps parallel benchmark shards independent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace ibvs {
+
+/// SplitMix64 generator (public-domain algorithm by Sebastiano Vigna).
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept
+      : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the slight modulo bias is irrelevant for topology generation.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    IBVS_REQUIRE(lo <= hi, "empty range");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Forks an independent stream (e.g. one per worker thread).
+  SplitMix64 fork() noexcept { return SplitMix64((*this)() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ibvs

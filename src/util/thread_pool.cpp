@@ -1,0 +1,109 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ibvs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, size() * 4);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::exception_ptr first_error;
+
+  for (std::size_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += chunk_size) {
+    const std::size_t chunk_end = std::min(end, chunk_begin + chunk_size);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++pending;
+    }
+    submit([&, chunk_begin, chunk_end] {
+      try {
+        body(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        --pending;
+      }
+      done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end,
+                      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                          body(i);
+                        }
+                      });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ibvs

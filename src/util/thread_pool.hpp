@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The routing engines (Min-Hop BFS sweeps, DFSSSP Dijkstra sweeps) are
+// embarrassingly parallel across destinations/sources; parallel_for gives
+// them a simple static-chunked work distribution without exposing futures to
+// the callers. The pool is created on demand and reused (thread creation at
+// 11k-node scale would otherwise dominate small runs).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ibvs {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for every i in [begin, end), distributing contiguous chunks
+  /// over the workers, and blocks until all iterations finished. Exceptions
+  /// thrown by `body` propagate (the first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for but hands each worker a contiguous [chunk_begin,
+  /// chunk_end) range, letting the body keep per-chunk scratch state.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace ibvs

@@ -1,0 +1,78 @@
+// LID adoption: a subnet manager taking over a running, already-addressed
+// subnet must honor what it finds (the failover path of sm/election).
+#include <gtest/gtest.h>
+
+#include "routing/verify.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(AdoptLids, TakesOverExistingAssignments) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  const auto snapshot = s.sm->lids().assigned_lids();
+
+  // A second SM on a different host inherits everything.
+  sm::SubnetManager second(s.fabric, s.hosts[7],
+                           routing::make_engine(routing::EngineKind::kMinHop));
+  const std::size_t adopted = second.adopt_lids();
+  EXPECT_EQ(adopted, snapshot.size());
+  EXPECT_EQ(second.lids().assigned_lids(), snapshot);
+  // Nothing new to assign afterwards.
+  EXPECT_EQ(second.assign_lids(), 0u);
+}
+
+TEST(AdoptLids, AdoptionIsIdempotent) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  sm::SubnetManager second(s.fabric, s.hosts[7],
+                           routing::make_engine(routing::EngineKind::kMinHop));
+  EXPECT_GT(second.adopt_lids(), 0u);
+  EXPECT_EQ(second.adopt_lids(), 0u);
+}
+
+TEST(AdoptLids, LmcBlocksAdoptedWhole) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 8);
+  const NodeId ca = fabric.add_ca("ca");
+  const NodeId sm_host = fabric.add_ca("sm");
+  fabric.connect(ca, 1, sw, 1);
+  fabric.connect(sm_host, 1, sw, 2);
+
+  // First SM hands out an LMC block.
+  sm::SubnetManager first(fabric, sm_host,
+                          routing::make_engine(routing::EngineKind::kMinHop));
+  first.assign_lids();
+  const Lid block = first.lids().assign_lmc_block(fabric, ca, 1, 2);
+  fabric.set_lid(ca, 1, block);  // ensure the base is what the port shows
+
+  sm::SubnetManager second(fabric, sm_host,
+                           routing::make_engine(routing::EngineKind::kMinHop));
+  second.adopt_lids();
+  // All four aliases adopted, port base/LMC preserved.
+  for (std::uint16_t off = 0; off < 4; ++off) {
+    EXPECT_TRUE(second.lids().assigned(
+        Lid{static_cast<std::uint16_t>(block.value() + off)}));
+  }
+  EXPECT_EQ(fabric.node(ca).ports[1].lid, block);
+  EXPECT_EQ(fabric.node(ca).ports[1].lmc, 2);
+  EXPECT_EQ(second.lids().owner(block).node, ca);
+}
+
+TEST(AdoptLids, VirtualizedSubnetAdoptsPfAndVfLids) {
+  auto s = test::VirtualSubnet::small(core::LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const std::size_t before = s.sm->lids().count();
+
+  sm::SubnetManager second(s.fabric, s.hyps[5].pf,
+                           routing::make_engine(routing::EngineKind::kMinHop));
+  EXPECT_EQ(second.adopt_lids(), before);
+  // The takeover reroutes identically: zero distribution SMPs.
+  second.compute_routes();
+  EXPECT_TRUE(routing::verify_routing(second.routing_result()).ok);
+  EXPECT_EQ(second.distribute_lfts().smps, 0u);
+}
+
+}  // namespace
+}  // namespace ibvs

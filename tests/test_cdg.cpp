@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "routing/cdg.hpp"
+#include "util/rng.hpp"
+
+namespace ibvs {
+namespace {
+
+using routing::ChannelDepGraph;
+using Add = ChannelDepGraph::Add;
+
+TEST(ChannelDepGraph, InsertChain) {
+  ChannelDepGraph g(4);
+  EXPECT_EQ(g.add(0, 1), Add::kInserted);
+  EXPECT_EQ(g.add(1, 2), Add::kInserted);
+  EXPECT_EQ(g.add(2, 3), Add::kInserted);
+  EXPECT_EQ(g.num_deps(), 3u);
+  EXPECT_TRUE(g.has(0, 1));
+  EXPECT_FALSE(g.has(1, 0));
+  EXPECT_TRUE(g.order_consistent());
+}
+
+TEST(ChannelDepGraph, DuplicateIsPresent) {
+  ChannelDepGraph g(3);
+  EXPECT_EQ(g.add(0, 1), Add::kInserted);
+  EXPECT_EQ(g.add(0, 1), Add::kPresent);
+  EXPECT_EQ(g.num_deps(), 1u);
+}
+
+TEST(ChannelDepGraph, RejectsTwoCycle) {
+  ChannelDepGraph g(2);
+  EXPECT_EQ(g.add(0, 1), Add::kInserted);
+  EXPECT_EQ(g.add(1, 0), Add::kRejected);
+  EXPECT_EQ(g.num_deps(), 1u);
+  EXPECT_TRUE(g.order_consistent());
+}
+
+TEST(ChannelDepGraph, RejectsSelfLoop) {
+  ChannelDepGraph g(2);
+  EXPECT_EQ(g.add(1, 1), Add::kRejected);
+}
+
+TEST(ChannelDepGraph, RejectsLongCycle) {
+  ChannelDepGraph g(5);
+  EXPECT_EQ(g.add(0, 1), Add::kInserted);
+  EXPECT_EQ(g.add(1, 2), Add::kInserted);
+  EXPECT_EQ(g.add(2, 3), Add::kInserted);
+  EXPECT_EQ(g.add(3, 4), Add::kInserted);
+  EXPECT_EQ(g.add(4, 0), Add::kRejected);
+  // But a forward chord is fine.
+  EXPECT_EQ(g.add(0, 4), Add::kInserted);
+  EXPECT_TRUE(g.order_consistent());
+}
+
+TEST(ChannelDepGraph, ReorderOnBackwardInsert) {
+  // Insert edges against the initial index order to force Pearce-Kelly
+  // reordering.
+  ChannelDepGraph g(6);
+  EXPECT_EQ(g.add(5, 4), Add::kInserted);
+  EXPECT_EQ(g.add(4, 3), Add::kInserted);
+  EXPECT_EQ(g.add(3, 2), Add::kInserted);
+  EXPECT_EQ(g.add(2, 1), Add::kInserted);
+  EXPECT_EQ(g.add(1, 0), Add::kInserted);
+  EXPECT_TRUE(g.order_consistent());
+  EXPECT_LT(g.order_of(5), g.order_of(0));
+  EXPECT_EQ(g.add(0, 5), Add::kRejected);
+}
+
+TEST(ChannelDepGraph, BatchAllOrNothing) {
+  ChannelDepGraph g(4);
+  EXPECT_TRUE(g.try_add_batch({{0, 1}, {1, 2}}));
+  EXPECT_EQ(g.num_deps(), 2u);
+  // Second batch would close a cycle via its last edge: nothing sticks.
+  EXPECT_FALSE(g.try_add_batch({{2, 3}, {3, 0}, {0, 2}}));
+  EXPECT_EQ(g.num_deps(), 2u);
+  EXPECT_FALSE(g.has(2, 3));
+  EXPECT_TRUE(g.order_consistent());
+  // And the same edges minus the cycle-maker insert fine afterwards.
+  EXPECT_TRUE(g.try_add_batch({{2, 3}, {0, 2}}));
+  EXPECT_EQ(g.num_deps(), 4u);
+}
+
+TEST(ChannelDepGraph, BatchWithDuplicatesRollsBackOnlyInserted) {
+  ChannelDepGraph g(4);
+  EXPECT_TRUE(g.try_add_batch({{0, 1}}));
+  EXPECT_FALSE(g.try_add_batch({{0, 1}, {1, 2}, {2, 0}}));
+  // {0,1} predates the failed batch and must survive the rollback.
+  EXPECT_TRUE(g.has(0, 1));
+  EXPECT_FALSE(g.has(1, 2));
+  EXPECT_EQ(g.num_deps(), 1u);
+}
+
+TEST(ChannelDepGraph, OutOfRangeThrows) {
+  ChannelDepGraph g(2);
+  EXPECT_THROW(g.add(0, 7), std::invalid_argument);
+  EXPECT_THROW(g.try_add_batch({{9, 0}}), std::invalid_argument);
+}
+
+/// Randomized differential test: PK structure vs a naive rebuild-and-check
+/// oracle, over thousands of insertions.
+TEST(ChannelDepGraph, RandomStressAgainstNaiveOracle) {
+  constexpr std::size_t kChannels = 40;
+  SplitMix64 rng(2024);
+  ChannelDepGraph g(kChannels);
+  std::vector<std::vector<std::uint32_t>> naive(kChannels);
+
+  const auto naive_would_cycle = [&](std::uint32_t from, std::uint32_t to) {
+    // DFS from `to` looking for `from`.
+    std::vector<bool> seen(kChannels, false);
+    std::vector<std::uint32_t> stack{to};
+    seen[to] = true;
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      if (u == from) return true;
+      for (auto v : naive[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    return false;
+  };
+
+  std::size_t inserted = 0;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto from = static_cast<std::uint32_t>(rng.below(kChannels));
+    const auto to = static_cast<std::uint32_t>(rng.below(kChannels));
+    const auto result = g.add(from, to);
+    if (from == to) {
+      ASSERT_EQ(result, Add::kRejected);
+      continue;
+    }
+    const bool dup = std::find(naive[from].begin(), naive[from].end(), to) !=
+                     naive[from].end();
+    if (dup) {
+      ASSERT_EQ(result, Add::kPresent) << from << "->" << to;
+    } else if (naive_would_cycle(from, to)) {
+      ASSERT_EQ(result, Add::kRejected) << from << "->" << to;
+      ++rejected;
+    } else {
+      ASSERT_EQ(result, Add::kInserted) << from << "->" << to;
+      naive[from].push_back(to);
+      ++inserted;
+    }
+    ASSERT_TRUE(g.order_consistent()) << "after " << i << " operations";
+  }
+  EXPECT_GT(inserted, 100u);
+  EXPECT_GT(rejected, 100u);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,138 @@
+// VM lifecycle under both vSwitch LID schemes (§V-A, §V-B).
+#include <gtest/gtest.h>
+
+#include "fabric/trace.hpp"
+#include "routing/verify.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+using core::LidScheme;
+
+class LifecycleTest : public ::testing::TestWithParam<LidScheme> {};
+
+TEST_P(LifecycleTest, BootAssignsPerScheme) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  const auto report = s.vsf->boot();
+  // 6 switches + 8 PFs + 1 SM node = 15 always; prepopulated adds 8*4 VFs.
+  const std::size_t base = 6 + 8 + 1;
+  if (GetParam() == LidScheme::kPrepopulated) {
+    EXPECT_EQ(s.sm->lids().count(), base + 32);
+    for (const auto& hyp : s.hyps) {
+      for (NodeId vf : hyp.vfs) {
+        EXPECT_TRUE(s.fabric.node(vf).lid().valid());
+      }
+    }
+  } else {
+    EXPECT_EQ(s.sm->lids().count(), base);
+  }
+  EXPECT_GT(report.distribution.smps, 0u);
+  EXPECT_TRUE(routing::verify_routing(s.sm->routing_result()).ok);
+}
+
+TEST_P(LifecycleTest, CreateVmIsReachableFromEveryPf) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto report = s.vsf->create_vm(2);
+  EXPECT_TRUE(report.vm.valid());
+  EXPECT_TRUE(report.lid.valid());
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), report.lid));
+  // And the VM's VF node actually owns the LID.
+  EXPECT_EQ(s.fabric.node(s.vsf->vm_node(report.vm)).lid(), report.lid);
+}
+
+TEST_P(LifecycleTest, CreateCostsMatchScheme) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto report = s.vsf->create_vm(0);
+  if (GetParam() == LidScheme::kPrepopulated) {
+    // Paths were precomputed at boot: starting a VM sends no LFT SMPs.
+    EXPECT_EQ(report.lft_smps, 0u);
+  } else {
+    // One SMP per physical switch to copy the PF entry (§V-B).
+    EXPECT_GT(report.lft_smps, 0u);
+    EXPECT_LE(report.lft_smps, 6u);
+    EXPECT_GT(report.time_us, 0.0);
+  }
+}
+
+TEST_P(LifecycleTest, VmsGetDistinctLidsAndGuids) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  std::set<std::uint16_t> lids;
+  std::set<std::uint64_t> guids;
+  for (int i = 0; i < 8; ++i) {
+    const auto r = s.vsf->create_vm();
+    lids.insert(r.lid.value());
+    guids.insert(s.vsf->vm(r.vm).vguid.value());
+  }
+  EXPECT_EQ(lids.size(), 8u);
+  EXPECT_EQ(guids.size(), 8u);
+  EXPECT_EQ(s.vsf->active_vms(), 8u);
+}
+
+TEST_P(LifecycleTest, DestroyFreesTheSlot) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto a = s.vsf->create_vm(1);
+  s.vsf->destroy_vm(a.vm);
+  EXPECT_EQ(s.vsf->active_vms(), 0u);
+  EXPECT_THROW((void)s.vsf->vm(a.vm), std::invalid_argument);
+  // The slot is reusable.
+  const auto b = s.vsf->create_vm(1);
+  EXPECT_TRUE(b.vm.valid());
+  if (GetParam() == LidScheme::kDynamic) {
+    // Dynamic: the released LID is recycled for the next VM.
+    EXPECT_EQ(b.lid, a.lid);
+  }
+}
+
+TEST_P(LifecycleTest, CapacityExhaustionThrows) {
+  auto s = test::VirtualSubnet::small(GetParam(), 2, 2);  // 2 hyps x 2 VFs
+  s.vsf->boot();
+  for (int i = 0; i < 4; ++i) s.vsf->create_vm();
+  EXPECT_THROW(s.vsf->create_vm(), std::invalid_argument);
+  EXPECT_THROW(s.vsf->create_vm(0), std::invalid_argument);
+}
+
+TEST_P(LifecycleTest, FindFreeHypervisorHonoursExclude) {
+  auto s = test::VirtualSubnet::small(GetParam(), 2, 1);
+  s.vsf->boot();
+  const auto h = s.vsf->find_free_hypervisor(std::size_t{0});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 1u);
+  s.vsf->create_vm(1);
+  EXPECT_FALSE(s.vsf->find_free_hypervisor(std::size_t{0}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, LifecycleTest,
+    ::testing::Values(LidScheme::kPrepopulated, LidScheme::kDynamic),
+    [](const auto& info) {
+      return info.param == LidScheme::kPrepopulated ? "prepopulated"
+                                                    : "dynamic";
+    });
+
+TEST(LifecycleGuards, OperationsRequireBoot) {
+  auto s = test::VirtualSubnet::small(LidScheme::kDynamic);
+  EXPECT_THROW(s.vsf->create_vm(), std::invalid_argument);
+  s.vsf->boot();
+  EXPECT_THROW(s.vsf->boot(), std::invalid_argument);
+}
+
+TEST(LifecycleGuards, DynamicVmLidFollowsPfPath) {
+  // §V-B invariant: a dynamically assigned VM LID is forwarded exactly like
+  // its hypervisor's PF LID on every switch.
+  auto s = test::VirtualSubnet::small(LidScheme::kDynamic);
+  s.vsf->boot();
+  const auto r = s.vsf->create_vm(3);
+  const Lid pf = s.fabric.node(s.hyps[3].pf).lid();
+  const auto& routing = s.sm->routing_result();
+  for (routing::SwitchIdx i = 0; i < routing.graph.num_switches(); ++i) {
+    EXPECT_EQ(routing.lfts[i].get(r.lid), routing.lfts[i].get(pf));
+  }
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,383 @@
+// Live migration and the dynamic reconfiguration method (§V-C, §VI).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fabric/trace.hpp"
+#include "routing/verify.hpp"
+#include "tests/helpers.hpp"
+#include "util/rng.hpp"
+
+namespace ibvs {
+namespace {
+
+using core::LidScheme;
+using core::MigrationOptions;
+
+class MigrateTest : public ::testing::TestWithParam<LidScheme> {
+ protected:
+  [[nodiscard]] static std::string scheme_name(LidScheme s) {
+    return s == LidScheme::kPrepopulated ? "prepopulated" : "dynamic";
+  }
+};
+
+TEST_P(MigrateTest, AddressesTravelWithTheVm) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const Guid vguid = s.vsf->vm(created.vm).vguid;
+
+  const auto report = s.vsf->migrate_vm(created.vm, 5);
+  EXPECT_EQ(report.src_hypervisor, 0u);
+  EXPECT_EQ(report.dst_hypervisor, 5u);
+  // The headline property: LID, GUID (and hence GID) are unchanged.
+  EXPECT_EQ(s.vsf->vm(created.vm).lid, created.lid);
+  EXPECT_EQ(s.vsf->vm(created.vm).vguid, vguid);
+  const NodeId new_vf = s.vsf->vm_node(created.vm);
+  EXPECT_EQ(s.fabric.node(new_vf).lid(), created.lid);
+  EXPECT_EQ(s.fabric.node(new_vf).alias_guid, vguid);
+  EXPECT_EQ(s.vsf->vm(created.vm).hypervisor, 5u);
+}
+
+TEST_P(MigrateTest, ConnectivityRestoredForEveryone) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  std::vector<core::VmHandle> vms;
+  for (int i = 0; i < 6; ++i) vms.push_back(s.vsf->create_vm().vm);
+
+  s.vsf->migrate_vm(vms[0], 6);
+  s.vsf->migrate_vm(vms[3], 7);
+
+  for (const auto vm : vms) {
+    const Lid lid = s.vsf->vm(vm).lid;
+    EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), lid))
+        << "VM lid " << lid << " unreachable after migrations";
+    // VM-to-VM connectivity as well.
+    for (const auto other : vms) {
+      if (other.id == vm.id) continue;
+      const auto t = fabric::trace_unicast(
+          s.fabric, s.vsf->vm_node(other), lid);
+      EXPECT_TRUE(t.delivered());
+    }
+  }
+}
+
+TEST_P(MigrateTest, SmpBoundsOfTheMethod) {
+  // §VI-B: m' in {1, 2}; at most 2n SMPs for swap, n for copy; n' <= n.
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const auto report = s.vsf->migrate_vm(created.vm, 7);
+  const auto& r = report.reconfig;
+  EXPECT_GT(r.switches_updated, 0u);
+  EXPECT_LE(r.switches_updated, r.switches_total);
+  if (GetParam() == LidScheme::kPrepopulated) {
+    EXPECT_LE(r.lft_smps, 2 * r.switches_updated);
+  } else {
+    EXPECT_LE(r.lft_smps, r.switches_updated);
+  }
+  EXPECT_GE(r.lft_smps, r.switches_updated);  // >= 1 SMP per touched switch
+  EXPECT_EQ(r.hypervisor_lid_smps, 2u);
+  EXPECT_EQ(r.guid_smps, 1u);
+  EXPECT_GT(r.lft_time_us, 0.0);
+}
+
+TEST_P(MigrateTest, PathComputationIsNeverRun) {
+  // The whole point: reconfiguration must not touch the routing engine.
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto gen_routing = [&] {
+    return s.sm->routing_result().compute_seconds;
+  };
+  const double pc_before = gen_routing();
+  const auto created = s.vsf->create_vm(0);
+  s.vsf->migrate_vm(created.vm, 4);
+  EXPECT_EQ(gen_routing(), pc_before);  // same RoutingResult, no recompute
+}
+
+TEST_P(MigrateTest, MigrateBackAndForthIsStable) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  for (int round = 0; round < 4; ++round) {
+    s.vsf->migrate_vm(created.vm, round % 2 == 0 ? 6 : 0);
+    EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), created.lid));
+  }
+  EXPECT_EQ(s.vsf->vm(created.vm).hypervisor, 0u);
+  EXPECT_EQ(s.vsf->vm(created.vm).lid, created.lid);
+}
+
+TEST_P(MigrateTest, IntraLeafMinimalSetIsOneSwitch) {
+  // §VI-D special case: hypervisors 0..2 share leaf 0; whatever the
+  // topology, only that leaf *needs* updating.
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const auto report = s.vsf->migrate_vm(created.vm, 1);
+  EXPECT_TRUE(report.intra_leaf);
+  EXPECT_EQ(report.minimal_set_size, 1u);
+}
+
+TEST_P(MigrateTest, MinimalModeUpdatesFewerOrEqualSwitches) {
+  auto s1 = test::VirtualSubnet::small(GetParam());
+  s1.vsf->boot();
+  const auto v1 = s1.vsf->create_vm(0);
+  const auto det = s1.vsf->migrate_vm(v1.vm, 7);
+
+  auto s2 = test::VirtualSubnet::small(GetParam());
+  s2.vsf->boot();
+  const auto v2 = s2.vsf->create_vm(0);
+  MigrationOptions opt;
+  opt.mode = core::ReconfigMode::kMinimal;
+  const auto min = s2.vsf->migrate_vm(v2.vm, 7, opt);
+
+  EXPECT_LE(min.reconfig.switches_updated, det.reconfig.switches_updated);
+  // Minimal mode must still restore connectivity.
+  EXPECT_TRUE(fabric::all_reach(s2.fabric, s2.pf_nodes(), v2.lid));
+}
+
+TEST_P(MigrateTest, IntraLeafMinimalModeTouchesOnlyTheLeaf) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  MigrationOptions opt;
+  opt.mode = core::ReconfigMode::kMinimal;
+  const auto report = s.vsf->migrate_vm(created.vm, 2, opt);
+  EXPECT_TRUE(report.intra_leaf);
+  EXPECT_EQ(report.reconfig.switches_updated, 1u);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), created.lid));
+}
+
+TEST_P(MigrateTest, DrainAddsOneSmpPerUpdatedSwitch) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  MigrationOptions opt;
+  opt.drain_first = true;
+  const auto report = s.vsf->migrate_vm(created.vm, 7, opt);
+  EXPECT_EQ(report.reconfig.drain_smps, report.reconfig.switches_updated);
+  EXPECT_GT(report.reconfig.drain_time_us, 0.0);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), created.lid));
+}
+
+TEST_P(MigrateTest, DestinationRoutingIsUsedByDefault) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const auto before = s.sm->transport().counters().directed;
+  s.vsf->migrate_vm(created.vm, 7);
+  // Eq. (5): migration SMPs go destination routed; no new directed SMPs.
+  EXPECT_EQ(s.sm->transport().counters().directed, before);
+
+  MigrationOptions opt;
+  opt.smp_routing = SmpRouting::kDirected;
+  s.vsf->migrate_vm(created.vm, 0, opt);
+  EXPECT_GT(s.sm->transport().counters().directed, before);
+}
+
+TEST_P(MigrateTest, MigrationErrors) {
+  auto s = test::VirtualSubnet::small(GetParam(), 3, 1);
+  s.vsf->boot();
+  const auto a = s.vsf->create_vm(0);
+  const auto b = s.vsf->create_vm(1);
+  EXPECT_THROW(s.vsf->migrate_vm(a.vm, 0), std::invalid_argument);  // self
+  EXPECT_THROW(s.vsf->migrate_vm(a.vm, 1), std::invalid_argument);  // full
+  EXPECT_THROW(s.vsf->migrate_vm(core::VmHandle{999}, 2),
+               std::invalid_argument);
+  (void)b;
+}
+
+TEST_P(MigrateTest, RandomChurnKeepsSubnetConsistent) {
+  // Property sweep: a random create/destroy/migrate sequence never breaks
+  // reachability of any active VM, under either scheme.
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  SplitMix64 rng(GetParam() == LidScheme::kPrepopulated ? 101 : 202);
+  std::vector<core::VmHandle> vms;
+  for (int step = 0; step < 60; ++step) {
+    const auto dice = rng.below(10);
+    if (dice < 4 || vms.empty()) {
+      if (s.vsf->find_free_hypervisor()) {
+        vms.push_back(s.vsf->create_vm().vm);
+      }
+    } else if (dice < 6) {
+      const auto idx = rng.below(vms.size());
+      s.vsf->destroy_vm(vms[idx]);
+      vms.erase(vms.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const auto idx = rng.below(vms.size());
+      const auto current = s.vsf->vm(vms[idx]).hypervisor;
+      const auto dst = s.vsf->find_free_hypervisor(current);
+      if (dst) s.vsf->migrate_vm(vms[idx], *dst);
+    }
+    for (const auto vm : vms) {
+      ASSERT_TRUE(
+          fabric::all_reach(s.fabric, s.pf_nodes(), s.vsf->vm(vm).lid))
+          << "step " << step;
+    }
+  }
+}
+
+TEST_P(MigrateTest, WorksOnRingTopologyToo) {
+  // The method is topology agnostic: nothing fat-tree-specific.
+  auto s = test::VirtualSubnet::ring(GetParam());
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const auto report = s.vsf->migrate_vm(created.vm, 3);
+  EXPECT_GT(report.reconfig.switches_updated, 0u);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), created.lid));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, MigrateTest,
+    ::testing::Values(LidScheme::kPrepopulated, LidScheme::kDynamic),
+    [](const auto& info) {
+      return info.param == LidScheme::kPrepopulated ? "prepopulated"
+                                                    : "dynamic";
+    });
+
+// --- Scheme-specific behaviours. ---
+
+TEST(PrepopulatedMigrate, LidsActuallySwap) {
+  auto s = test::VirtualSubnet::small(LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const NodeId old_vf = s.vsf->vm_node(created.vm);
+  const Lid old_vf_lid = created.lid;
+  // Destination VF 0 on hypervisor 7 currently holds some LID.
+  const Lid dst_vf_lid = s.fabric.node(s.hyps[7].vfs[0]).lid();
+
+  const auto report = s.vsf->migrate_vm(created.vm, 7);
+  EXPECT_EQ(report.swapped_lid, dst_vf_lid);
+  // VM LID now on the destination VF; the destination's old LID moved back
+  // to the vacated source VF — LID count is conserved.
+  EXPECT_EQ(s.fabric.node(s.hyps[7].vfs[0]).lid(), old_vf_lid);
+  EXPECT_EQ(s.fabric.node(old_vf).lid(), dst_vf_lid);
+  // The swapped-back LID is reachable as well (it is a VF somebody may use).
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), dst_vf_lid));
+}
+
+TEST(PrepopulatedMigrate, SwapPreservesPerPortEntryCounts) {
+  // The deterministic swap preserves the initial balancing: on every
+  // switch, the multiset of egress ports over all LIDs is unchanged.
+  auto s = test::VirtualSubnet::small(LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const auto& routing = s.sm->routing_result();
+  std::vector<std::map<PortNum, std::size_t>> before(
+      routing.graph.num_switches());
+  for (routing::SwitchIdx i = 0; i < routing.graph.num_switches(); ++i) {
+    for (const auto& t : routing.graph.targets) {
+      ++before[i][routing.lfts[i].get(t.lid)];
+    }
+  }
+  const auto created = s.vsf->create_vm(0);
+  s.vsf->migrate_vm(created.vm, 7);
+  for (routing::SwitchIdx i = 0; i < routing.graph.num_switches(); ++i) {
+    std::map<PortNum, std::size_t> after;
+    for (const auto& t : routing.graph.targets) {
+      ++after[routing.lfts[i].get(t.lid)];
+    }
+    EXPECT_EQ(after, before[i]) << "switch " << i;
+  }
+}
+
+TEST(PrepopulatedMigrate, SameBlockSwapCostsOneSmpPerSwitch) {
+  // Fig. 5: when both LIDs fall in the same 64-entry block, one SMP per
+  // switch suffices. With few hypervisors every LID is < 64 here.
+  auto s = test::VirtualSubnet::small(LidScheme::kPrepopulated, 4, 2);
+  s.vsf->boot();
+  ASSERT_LE(s.sm->lids().top_lid().value(), 63u);
+  const auto created = s.vsf->create_vm(0);
+  const auto report = s.vsf->migrate_vm(created.vm, 3);
+  EXPECT_EQ(report.reconfig.lft_smps, report.reconfig.switches_updated);
+}
+
+TEST(PrepopulatedMigrate, CrossBlockSwapCostsTwoSmpsPerSwitch) {
+  // Force the two LIDs into different blocks by moving the VM LID above 63.
+  auto s = test::VirtualSubnet::small(LidScheme::kPrepopulated, 8, 8);
+  s.vsf->boot();
+  ASSERT_GT(s.sm->lids().top_lid().value(), 63u);
+  // VM on hypervisor 0, VF 0 -> low LID; find a destination whose first
+  // free VF LID lives in another block.
+  const auto created = s.vsf->create_vm(0);
+  ASSERT_LT(lft_block_of(created.lid), lft_block_of(
+      s.fabric.node(s.hyps[7].vfs.back()).lid()));
+  // Fill hypervisor 7's low-LID VFs so the free VF is the last one.
+  std::vector<core::VmHandle> fillers;
+  for (std::size_t i = 0; i + 1 < s.hyps[7].vfs.size(); ++i) {
+    fillers.push_back(s.vsf->create_vm(7).vm);
+  }
+  const auto report = s.vsf->migrate_vm(created.vm, 7);
+  ASSERT_NE(lft_block_of(report.vm_lid), lft_block_of(report.swapped_lid));
+  // Every updated switch needed exactly two block writes.
+  EXPECT_EQ(report.reconfig.lft_smps, 2 * report.reconfig.switches_updated);
+}
+
+TEST(DynamicMigrate, CopiedEntriesEqualDestinationPf) {
+  auto s = test::VirtualSubnet::small(LidScheme::kDynamic);
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  s.vsf->migrate_vm(created.vm, 6);
+  const Lid pf = s.fabric.node(s.hyps[6].pf).lid();
+  const auto& routing = s.sm->routing_result();
+  for (routing::SwitchIdx i = 0; i < routing.graph.num_switches(); ++i) {
+    EXPECT_EQ(routing.lfts[i].get(created.lid), routing.lfts[i].get(pf));
+  }
+}
+
+TEST(DynamicMigrate, AlwaysSingleSmpPerSwitch) {
+  auto s = test::VirtualSubnet::small(LidScheme::kDynamic, 8, 8);
+  s.vsf->boot();
+  const auto created = s.vsf->create_vm(0);
+  const auto report = s.vsf->migrate_vm(created.vm, 7);
+  // Copying touches one LID -> one block -> one SMP per switch, always
+  // (§V-C2), regardless of where LIDs sit in the blocks.
+  EXPECT_EQ(report.reconfig.lft_smps, report.reconfig.switches_updated);
+}
+
+TEST(PrepopulatedMigrate, MinimalModeChurnKeepsEveryVfLidDeliverable) {
+  // Regression: each LID of a swap must be updated on *its own* minimal
+  // set. Applying one LID's new entries on the union of both sets creates
+  // unvalidated old/new hybrids, which slowly corrupted the routes of
+  // *free* VF LIDs (nobody traced them) until a later migration picked one
+  // as destination and found its entries looping.
+  auto s = test::VirtualSubnet::small(LidScheme::kPrepopulated);
+  s.vsf->boot();
+  SplitMix64 rng(4711);
+  std::vector<core::VmHandle> vms;
+  for (int i = 0; i < 12; ++i) vms.push_back(s.vsf->create_vm().vm);
+  MigrationOptions minimal;
+  minimal.mode = core::ReconfigMode::kMinimal;
+  for (int i = 0; i < 40; ++i) {
+    const auto vm = vms[rng.below(vms.size())];
+    const auto dst = s.vsf->find_free_hypervisor(s.vsf->vm(vm).hypervisor);
+    if (!dst) continue;
+    s.vsf->migrate_vm(vm, *dst, minimal);
+    // Every VF LID in the subnet — used or free — must stay deliverable.
+    for (const auto& hyp : s.hyps) {
+      for (NodeId vf : hyp.vfs) {
+        const Lid lid = s.fabric.node(vf).lid();
+        ASSERT_TRUE(lid.valid());
+        ASSERT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), lid))
+            << "VF lid " << lid << " broken after migration " << i;
+      }
+    }
+  }
+}
+
+TEST(FullReconfigureBaseline, MatchesSweepAndRestoresInvariants) {
+  auto s = test::VirtualSubnet::small(LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const auto v = s.vsf->create_vm(0);
+  s.vsf->migrate_vm(v.vm, 7);
+  // A traditional full reconfiguration from scratch also works — and costs
+  // a full distribution, unlike the method's 1-2 SMPs per switch.
+  const auto report = s.vsf->full_reconfigure();
+  EXPECT_GT(report.path_computation_seconds, 0.0);
+  EXPECT_TRUE(routing::verify_routing(s.sm->routing_result()).ok);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), v.lid));
+}
+
+}  // namespace
+}  // namespace ibvs

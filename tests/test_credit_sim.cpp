@@ -1,0 +1,279 @@
+// Credit-based flow simulation: deadlocks become observable (§VI-C).
+#include <gtest/gtest.h>
+
+#include "fabric/credit_sim.hpp"
+#include "tests/helpers.hpp"
+#include "topology/irregular.hpp"
+
+namespace ibvs {
+namespace {
+
+using fabric::CreditSimConfig;
+using fabric::FlowSpec;
+using routing::EngineKind;
+
+struct RoutedRing {
+  Fabric fabric;
+  LidMap lids;
+  std::vector<NodeId> hosts;
+  routing::RoutingResult result;
+
+  explicit RoutedRing(EngineKind engine, std::size_t switches = 6) {
+    const auto built = topology::build_ring(fabric, switches, 1, 8);
+    hosts = topology::attach_hosts(fabric, built.host_slots);
+    for (NodeId sw : fabric.switch_ids()) lids.assign_next(fabric, sw, 0);
+    for (NodeId host : hosts) lids.assign_next(fabric, host, 1);
+    result = routing::make_engine(engine)->compute(fabric, lids);
+    install();
+  }
+
+  void install() {
+    for (routing::SwitchIdx i = 0; i < result.graph.num_switches(); ++i) {
+      Node& sw = fabric.node(result.graph.switches[i]);
+      for (std::size_t b = 0; b < result.lfts[i].block_count(); ++b) {
+        sw.lft.set_block(b, result.lfts[i].block(b));
+      }
+    }
+  }
+
+  /// All-to-all host flows, `packets` each, with the routing's VLs.
+  std::vector<FlowSpec> all_to_all(std::size_t packets) const {
+    std::vector<FlowSpec> flows;
+    for (NodeId src : hosts) {
+      for (NodeId dst : hosts) {
+        if (src == dst) continue;
+        FlowSpec f;
+        f.src = src;
+        f.dst = fabric.node(dst).lid();
+        f.packets = packets;
+        const auto src_attach = fabric.physical_attachment(src);
+        const auto dst_attach = fabric.physical_attachment(dst);
+        f.vl = result.vl_for(result.graph.dense(src_attach->first), f.dst,
+                             result.graph.dense(dst_attach->first));
+        flows.push_back(f);
+      }
+    }
+    return flows;
+  }
+};
+
+TEST(CreditSim, FatTreeMinHopDrains) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  std::vector<FlowSpec> flows;
+  for (NodeId src : s.hosts) {
+    for (NodeId dst : s.hosts) {
+      if (src != dst) {
+        flows.push_back(FlowSpec{src, s.fabric.node(dst).lid(), 3, 0});
+      }
+    }
+  }
+  const auto report = fabric::simulate_flows(s.fabric, flows);
+  EXPECT_TRUE(report.all_delivered());
+  EXPECT_EQ(report.delivered, flows.size() * 3);
+  EXPECT_FALSE(report.deadlocked);
+}
+
+TEST(CreditSim, MinHopRingDeadlocksOnOneVl) {
+  // The canonical credit deadlock: minimal routing on a ring, single VL,
+  // all-to-all traffic. The analyzer predicts a CDG cycle; the simulator
+  // actually wedges.
+  RoutedRing ring(EngineKind::kMinHop, /*switches=*/7);
+  auto flows = ring.all_to_all(20);
+  for (auto& f : flows) f.vl = 0;  // force everything onto one lane
+  CreditSimConfig config;
+  config.credits_per_channel = 1;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_TRUE(report.deadlocked);
+  EXPECT_GT(report.stuck, 0u);
+}
+
+TEST(CreditSim, DfssspVlsPreventTheRingDeadlock) {
+  RoutedRing ring(EngineKind::kDfsssp, /*switches=*/7);
+  ASSERT_GT(ring.result.num_vls, 1u);
+  const auto flows = ring.all_to_all(20);
+  CreditSimConfig config;
+  config.credits_per_channel = 1;
+  config.num_vls = ring.result.num_vls;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_FALSE(report.deadlocked);
+  EXPECT_TRUE(report.all_delivered());
+}
+
+TEST(CreditSim, UpDownAvoidsTheDeadlockWithoutVls) {
+  RoutedRing ring(EngineKind::kUpDown, /*switches=*/7);
+  const auto flows = ring.all_to_all(20);
+  CreditSimConfig config;
+  config.credits_per_channel = 1;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_FALSE(report.deadlocked);
+  EXPECT_TRUE(report.all_delivered());
+}
+
+TEST(CreditSim, LashLayersPreventTheRingDeadlock) {
+  RoutedRing ring(EngineKind::kLash, /*switches=*/7);
+  ASSERT_GT(ring.result.num_vls, 1u);
+  const auto flows = ring.all_to_all(20);
+  CreditSimConfig config;
+  config.credits_per_channel = 1;
+  config.num_vls = ring.result.num_vls;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_FALSE(report.deadlocked);
+  EXPECT_TRUE(report.all_delivered());
+}
+
+TEST(CreditSim, IbTimeoutResolvesTheDeadlock) {
+  // §VI-C: "deadlocks ... will be resolved by IB timeouts". Same wedge as
+  // above, but with a timeout: the fabric drains, at the price of drops.
+  RoutedRing ring(EngineKind::kMinHop, /*switches=*/7);
+  auto flows = ring.all_to_all(20);
+  for (auto& f : flows) f.vl = 0;
+  CreditSimConfig config;
+  config.credits_per_channel = 1;
+  config.timeout_steps = 50;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_FALSE(report.deadlocked);
+  EXPECT_FALSE(report.exhausted);
+  EXPECT_GT(report.dropped_timeout, 0u);
+  EXPECT_GT(report.delivered, 0u);
+  EXPECT_EQ(report.delivered + report.dropped_timeout +
+                report.dropped_unrouted,
+            report.injected);
+}
+
+TEST(CreditSim, CraftedForwardingCycleWedges) {
+  // A LID routed in a full circle (what a broken transition state could
+  // produce): enough packets fill the cycle's buffers and wedge it.
+  RoutedRing ring(EngineKind::kUpDown);
+  const Lid victim = ring.fabric.node(ring.hosts[0]).lid();
+  const auto& g = ring.result.graph;
+  for (routing::SwitchIdx s = 0; s < g.num_switches(); ++s) {
+    Node& sw = ring.fabric.node(g.switches[s]);
+    // Every switch forwards the victim LID clockwise (its last port).
+    sw.lft.set(victim, static_cast<PortNum>(sw.num_ports()));
+  }
+  std::vector<FlowSpec> flows;
+  for (std::size_t i = 1; i < ring.hosts.size(); ++i) {
+    flows.push_back(FlowSpec{ring.hosts[i], victim, 10, 0});
+  }
+  CreditSimConfig config;
+  config.credits_per_channel = 1;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_TRUE(report.deadlocked);
+  EXPECT_EQ(report.delivered, 0u);
+}
+
+TEST(CreditSim, ReconfigurationMidFlightKeepsDelivering) {
+  // Packets in flight while a migration's LFT updates land: the §V-C
+  // reconfiguration on a fat-tree never wedges the fabric.
+  auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
+  s.vsf->boot();
+  const auto vm = s.vsf->create_vm(0);
+  std::vector<FlowSpec> flows;
+  for (const auto& hyp : s.hyps) {
+    flows.push_back(FlowSpec{hyp.pf, vm.lid, 50, 0});
+  }
+  bool migrated = false;
+  CreditSimConfig config;
+  config.credits_per_channel = 2;
+  config.timeout_steps = 64;  // IB timeouts cover the transient
+  config.on_step = [&](std::uint64_t step) {
+    if (step == 20 && !migrated) {
+      migrated = true;
+      s.vsf->migrate_vm(vm.vm, 7);
+    }
+  };
+  const auto report = fabric::simulate_flows(s.fabric, flows, config);
+  EXPECT_FALSE(report.deadlocked);
+  EXPECT_FALSE(report.exhausted);
+  EXPECT_TRUE(migrated);
+  // Most packets arrive; a transient few may be dropped mid-swap, none may
+  // linger forever.
+  EXPECT_EQ(report.stuck, 0u);
+  EXPECT_GT(report.delivered, report.injected / 2);
+}
+
+TEST(CreditSim, DeadlockFreeEnginesNeverWedgeOnRandomGraphs) {
+  // Property sweep: on random irregular (cyclic) topologies, the
+  // deadlock-free engines must drain an all-to-all workload with 1 credit
+  // per channel — the strictest buffer budget.
+  for (const std::uint64_t seed : {3ull, 11ull, 29ull}) {
+    Fabric fabric;
+    LidMap lids;
+    const auto built = topology::build_irregular(
+        fabric, topology::IrregularParams{.num_switches = 8,
+                                          .hosts_per_switch = 1,
+                                          .extra_links = 5,
+                                          .radix = 10,
+                                          .seed = seed});
+    const auto hosts = topology::attach_hosts(fabric, built.host_slots);
+    for (NodeId sw : fabric.switch_ids()) lids.assign_next(fabric, sw, 0);
+    for (NodeId host : hosts) lids.assign_next(fabric, host, 1);
+
+    for (const auto engine :
+         {EngineKind::kUpDown, EngineKind::kDfsssp, EngineKind::kLash}) {
+      auto result = routing::make_engine(engine)->compute(fabric, lids);
+      for (routing::SwitchIdx i = 0; i < result.graph.num_switches(); ++i) {
+        Node& sw = fabric.node(result.graph.switches[i]);
+        for (std::size_t b = 0; b < result.lfts[i].block_count(); ++b) {
+          sw.lft.set_block(b, result.lfts[i].block(b));
+        }
+      }
+      std::vector<FlowSpec> flows;
+      for (NodeId src : hosts) {
+        for (NodeId dst : hosts) {
+          if (src == dst) continue;
+          FlowSpec f;
+          f.src = src;
+          f.dst = fabric.node(dst).lid();
+          f.packets = 10;
+          const auto sa = fabric.physical_attachment(src);
+          const auto da = fabric.physical_attachment(dst);
+          f.vl = result.vl_for(result.graph.dense(sa->first), f.dst,
+                               result.graph.dense(da->first));
+          flows.push_back(f);
+        }
+      }
+      CreditSimConfig config;
+      config.credits_per_channel = 1;
+      config.num_vls = result.num_vls;
+      const auto report = fabric::simulate_flows(fabric, flows, config);
+      EXPECT_TRUE(report.all_delivered())
+          << routing::to_string(engine) << " seed " << seed
+          << (report.deadlocked ? " DEADLOCKED" : " incomplete");
+    }
+  }
+}
+
+TEST(CreditSim, ConfigValidation) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 4);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.connect(ca, 1, sw, 1);
+  fabric.set_lid(ca, 1, Lid{1});
+  CreditSimConfig bad;
+  bad.credits_per_channel = 0;
+  EXPECT_THROW(fabric::simulate_flows(fabric, {}, bad),
+               std::invalid_argument);
+  CreditSimConfig config;
+  EXPECT_THROW(
+      fabric::simulate_flows(fabric, {FlowSpec{sw, Lid{1}, 1, 0}}, config),
+      std::invalid_argument);  // flows start at CAs
+  EXPECT_THROW(
+      fabric::simulate_flows(fabric, {FlowSpec{ca, Lid{1}, 1, 3}}, config),
+      std::invalid_argument);  // VL out of range
+}
+
+TEST(CreditSim, LoopbackAndUnroutedCounting) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  // A destination LID nobody owns: counted as unrouted drops.
+  std::vector<FlowSpec> flows{FlowSpec{s.hosts[0], Lid{4000}, 5, 0}};
+  const auto report = fabric::simulate_flows(s.fabric, flows);
+  EXPECT_EQ(report.dropped_unrouted, 5u);
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_FALSE(report.deadlocked);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "deadlock/analysis.hpp"
+#include "routing/verify.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/hosts.hpp"
+#include "topology/irregular.hpp"
+
+namespace ibvs {
+namespace {
+
+using routing::EngineKind;
+
+TEST(DependencyDigraph, FindsCycles) {
+  deadlock::DependencyDigraph g(4);
+  g.add(0, 1);
+  g.add(1, 2);
+  EXPECT_TRUE(g.acyclic());
+  g.add(2, 0);
+  EXPECT_FALSE(g.acyclic());
+  const auto cycle = g.find_cycle();
+  ASSERT_EQ(cycle.size(), 3u);
+  // The cycle contains exactly channels 0, 1, 2.
+  std::vector<std::uint32_t> sorted = cycle;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(DependencyDigraph, DeduplicatesEdges) {
+  deadlock::DependencyDigraph g(3);
+  g.add(0, 1);
+  g.add(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(g.add(0, 5), std::invalid_argument);
+}
+
+struct RoutedTopo {
+  Fabric fabric;
+  LidMap lids;
+  routing::RoutingResult result;
+};
+
+std::unique_ptr<RoutedTopo> route_ring(EngineKind engine,
+                                       std::size_t switches = 6) {
+  auto rt = std::make_unique<RoutedTopo>();
+  const auto built = topology::build_ring(rt->fabric, switches, 2, 8);
+  const auto hosts = topology::attach_hosts(rt->fabric, built.host_slots);
+  for (NodeId sw : rt->fabric.switch_ids())
+    rt->lids.assign_next(rt->fabric, sw, 0);
+  for (NodeId host : hosts) rt->lids.assign_next(rt->fabric, host, 1);
+  rt->result = routing::make_engine(engine)->compute(rt->fabric, rt->lids);
+  return rt;
+}
+
+std::unique_ptr<RoutedTopo> route_torus(EngineKind engine) {
+  auto rt = std::make_unique<RoutedTopo>();
+  const auto built = topology::build_torus_2d(rt->fabric, 4, 4, 1, 8);
+  const auto hosts = topology::attach_hosts(rt->fabric, built.host_slots);
+  for (NodeId sw : rt->fabric.switch_ids())
+    rt->lids.assign_next(rt->fabric, sw, 0);
+  for (NodeId host : hosts) rt->lids.assign_next(rt->fabric, host, 1);
+  rt->result = routing::make_engine(engine)->compute(rt->fabric, rt->lids);
+  return rt;
+}
+
+TEST(DeadlockAnalysis, MinHopOnRingHasCycle) {
+  // Minimal routing on a ring without VLs is the textbook deadlock: the CDG
+  // of the single lane must contain a cycle (with >= 5 switches, traffic
+  // wraps in both directions all the way around).
+  const auto rt = route_ring(EngineKind::kMinHop);
+  const auto report = deadlock::analyze_routing(rt->result);
+  EXPECT_FALSE(report.deadlock_free());
+  ASSERT_FALSE(report.per_vl.empty());
+  EXPECT_FALSE(report.per_vl[0].cycle.empty());
+}
+
+TEST(DeadlockAnalysis, UpDownOnRingIsDeadlockFree) {
+  const auto rt = route_ring(EngineKind::kUpDown);
+  EXPECT_TRUE(routing::verify_routing(rt->result).ok);
+  const auto report = deadlock::analyze_routing(rt->result);
+  EXPECT_TRUE(report.deadlock_free());
+  EXPECT_EQ(rt->result.num_vls, 1u);
+}
+
+TEST(DeadlockAnalysis, DfssspOnRingLayersAreAcyclic) {
+  const auto rt = route_ring(EngineKind::kDfsssp);
+  EXPECT_TRUE(routing::verify_routing(rt->result).ok);
+  const auto report = deadlock::analyze_routing(rt->result);
+  EXPECT_TRUE(report.deadlock_free());
+  // The ring forces DFSSSP to actually use more than one virtual lane.
+  EXPECT_GT(rt->result.num_vls, 1u);
+}
+
+TEST(DeadlockAnalysis, LashOnRingLayersAreAcyclic) {
+  const auto rt = route_ring(EngineKind::kLash);
+  EXPECT_TRUE(routing::verify_routing(rt->result).ok);
+  const auto report = deadlock::analyze_routing(rt->result);
+  EXPECT_TRUE(report.deadlock_free());
+  EXPECT_GT(rt->result.num_vls, 1u);
+}
+
+TEST(DeadlockAnalysis, DfssspOnTorusLayersAreAcyclic) {
+  const auto rt = route_torus(EngineKind::kDfsssp);
+  EXPECT_TRUE(routing::verify_routing(rt->result).ok);
+  EXPECT_TRUE(deadlock::analyze_routing(rt->result).deadlock_free());
+}
+
+TEST(DeadlockAnalysis, LashOnTorusLayersAreAcyclic) {
+  const auto rt = route_torus(EngineKind::kLash);
+  EXPECT_TRUE(routing::verify_routing(rt->result).ok);
+  EXPECT_TRUE(deadlock::analyze_routing(rt->result).deadlock_free());
+}
+
+TEST(DeadlockAnalysis, UpDownOnIrregularGraphsIsDeadlockFree) {
+  for (std::uint64_t seed : {1ull, 7ull, 13ull, 99ull}) {
+    RoutedTopo rt;
+    const auto built = topology::build_irregular(
+        rt.fabric, topology::IrregularParams{.num_switches = 12,
+                                             .hosts_per_switch = 2,
+                                             .extra_links = 8,
+                                             .radix = 12,
+                                             .seed = seed});
+    const auto hosts = topology::attach_hosts(rt.fabric, built.host_slots);
+    for (NodeId sw : rt.fabric.switch_ids())
+      rt.lids.assign_next(rt.fabric, sw, 0);
+    for (NodeId host : hosts) rt.lids.assign_next(rt.fabric, host, 1);
+    rt.result = routing::make_engine(EngineKind::kUpDown)
+                    ->compute(rt.fabric, rt.lids);
+    EXPECT_TRUE(routing::verify_routing(rt.result).ok) << "seed " << seed;
+    EXPECT_TRUE(deadlock::analyze_routing(rt.result).deadlock_free())
+        << "seed " << seed;
+  }
+}
+
+TEST(DeadlockAnalysis, FatTreeMinHopIsNaturallyAcyclic) {
+  RoutedTopo rt;
+  const auto built = topology::build_two_level_fat_tree(
+      rt.fabric, topology::TwoLevelParams{.num_leaves = 4,
+                                          .num_spines = 2,
+                                          .hosts_per_leaf = 3,
+                                          .radix = 8});
+  const auto hosts = topology::attach_hosts(rt.fabric, built.host_slots);
+  for (NodeId sw : rt.fabric.switch_ids())
+    rt.lids.assign_next(rt.fabric, sw, 0);
+  for (NodeId host : hosts) rt.lids.assign_next(rt.fabric, host, 1);
+  rt.result =
+      routing::make_engine(EngineKind::kMinHop)->compute(rt.fabric, rt.lids);
+  EXPECT_TRUE(deadlock::analyze_routing(rt.result).deadlock_free());
+}
+
+TEST(TransitionAnalysis, CoexistingOldAndNewRoutesCanCycle) {
+  // Craft the §VI-C hazard on a ring: the old route sends a LID clockwise,
+  // the new route counter-clockwise; their union around the ring plus the
+  // stable traffic closes a dependency cycle that neither function has
+  // alone. analyze_transition must surface it.
+  const auto rt = route_ring(EngineKind::kUpDown, 6);
+  const auto& g = rt->result.graph;
+
+  // Pick an endpoint LID attached at switch 0.
+  Lid moved;
+  for (const auto& t : g.targets) {
+    if (t.sw == 0 && t.port != 0) {
+      moved = t.lid;
+      break;
+    }
+  }
+  ASSERT_TRUE(moved.valid());
+
+  // New tables: the LID "moves" to the diametrically opposite switch and is
+  // routed the opposite way around than up*/down* would.
+  std::vector<Lft> new_lfts = rt->result.lfts;
+  const std::size_t s_count = g.num_switches();
+  for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+    // Force clockwise forwarding: the edge to switch (s+1) % n.
+    const auto [first, last] = g.out(s);
+    for (const auto* e = first; e != last; ++e) {
+      if (e->to == (s + 1) % s_count) {
+        new_lfts[s].set(moved, e->out_port);
+        break;
+      }
+    }
+  }
+  std::vector<Lid> stable;
+  for (const auto& t : g.targets) {
+    if (t.lid != moved) stable.push_back(t.lid);
+  }
+
+  const auto report = deadlock::analyze_transition(
+      g, rt->result.lfts, new_lfts, {moved}, stable);
+  EXPECT_TRUE(report.transient_cycle_possible);
+  EXPECT_FALSE(report.cycle.empty());
+  EXPECT_GT(report.union_dependencies, 0u);
+}
+
+TEST(TransitionAnalysis, IdenticalTablesAreClean) {
+  const auto rt = route_ring(EngineKind::kUpDown, 6);
+  std::vector<Lid> all;
+  for (const auto& t : rt->result.graph.targets) all.push_back(t.lid);
+  const auto report = deadlock::analyze_transition(
+      rt->result.graph, rt->result.lfts, rt->result.lfts, all, {});
+  EXPECT_FALSE(report.transient_cycle_possible);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "ib/fabric.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(Fabric, AddAndConnect) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 4);
+  const NodeId ca = fabric.add_ca("ca");
+  EXPECT_EQ(fabric.size(), 2u);
+  EXPECT_TRUE(fabric.node(sw).is_switch());
+  EXPECT_TRUE(fabric.node(sw).is_physical_switch());
+  EXPECT_TRUE(fabric.node(ca).is_ca());
+  EXPECT_EQ(fabric.node(sw).num_ports(), 4u);
+
+  fabric.connect(ca, 1, sw, 2);
+  const auto peer = fabric.peer(ca, 1);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(peer->first, sw);
+  EXPECT_EQ(peer->second, 2);
+  fabric.validate();
+}
+
+TEST(Fabric, ConnectErrors) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 2);
+  const NodeId a = fabric.add_ca("a");
+  const NodeId b = fabric.add_ca("b");
+  fabric.connect(a, 1, sw, 1);
+  EXPECT_THROW(fabric.connect(b, 1, sw, 1), std::invalid_argument);  // taken
+  EXPECT_THROW(fabric.connect(b, 1, sw, 3), std::invalid_argument);  // range
+  EXPECT_THROW(fabric.connect(b, 0, sw, 2), std::invalid_argument);  // port 0
+  EXPECT_THROW(fabric.connect(sw, 2, sw, 2), std::invalid_argument);  // self
+}
+
+TEST(Fabric, Disconnect) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 2);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.connect(ca, 1, sw, 1);
+  fabric.disconnect(ca, 1);
+  EXPECT_FALSE(fabric.peer(ca, 1).has_value());
+  EXPECT_FALSE(fabric.peer(sw, 1).has_value());
+  EXPECT_THROW(fabric.disconnect(ca, 1), std::invalid_argument);
+  // Port is free again.
+  fabric.connect(ca, 1, sw, 2);
+  fabric.validate();
+}
+
+TEST(Fabric, CountsAndIdLists) {
+  Fabric fabric;
+  fabric.add_switch("p1", 4);
+  fabric.add_switch("v1", 4, SwitchFlavor::kVSwitch);
+  fabric.add_ca("c1");
+  fabric.add_ca("c2", 1, CaRole::kPf);
+  fabric.add_ca("c3", 1, CaRole::kVf);
+  EXPECT_EQ(fabric.num_switches(true), 1u);
+  EXPECT_EQ(fabric.num_switches(false), 2u);
+  EXPECT_EQ(fabric.num_cas(), 3u);
+  EXPECT_EQ(fabric.switch_ids(true).size(), 1u);
+  EXPECT_EQ(fabric.switch_ids(false).size(), 2u);
+  EXPECT_EQ(fabric.ca_ids().size(), 3u);
+}
+
+TEST(Fabric, LidsOnPorts) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 2);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.set_lid(sw, 0, Lid{10});
+  fabric.set_lid(ca, 1, Lid{11});
+  EXPECT_EQ(fabric.node(sw).lid(), Lid{10});
+  EXPECT_EQ(fabric.node(ca).lid(), Lid{11});
+  // Switch LIDs live on port 0 only.
+  EXPECT_THROW(fabric.set_lid(sw, 1, Lid{12}), std::invalid_argument);
+}
+
+TEST(Fabric, PhysicalAttachmentDirect) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 4);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.connect(ca, 1, sw, 3);
+  const auto attach = fabric.physical_attachment(ca);
+  ASSERT_TRUE(attach.has_value());
+  EXPECT_EQ(attach->first, sw);
+  EXPECT_EQ(attach->second, 3);
+}
+
+TEST(Fabric, PhysicalAttachmentThroughVSwitch) {
+  Fabric fabric;
+  const NodeId leaf = fabric.add_switch("leaf", 4);
+  const NodeId vsw = fabric.add_switch("vsw", 4, SwitchFlavor::kVSwitch);
+  const NodeId pf = fabric.add_ca("pf", 1, CaRole::kPf);
+  const NodeId vf = fabric.add_ca("vf", 1, CaRole::kVf);
+  fabric.connect(vsw, 1, leaf, 2);  // uplink
+  fabric.connect(pf, 1, vsw, 2);
+  fabric.connect(vf, 1, vsw, 3);
+
+  EXPECT_EQ(fabric.vswitch_uplink(vsw), PortNum{1});
+  // PF and VF share the uplink: both attach at (leaf, 2) — the property the
+  // dynamic reconfiguration method exploits.
+  const auto pf_attach = fabric.physical_attachment(pf);
+  const auto vf_attach = fabric.physical_attachment(vf);
+  ASSERT_TRUE(pf_attach && vf_attach);
+  EXPECT_EQ(*pf_attach, *vf_attach);
+  EXPECT_EQ(pf_attach->first, leaf);
+  EXPECT_EQ(pf_attach->second, 2);
+}
+
+TEST(Fabric, UnattachedEndpointHasNoAttachment) {
+  Fabric fabric;
+  const NodeId ca = fabric.add_ca("lonely");
+  EXPECT_FALSE(fabric.physical_attachment(ca).has_value());
+}
+
+TEST(Fabric, GuidsAreUniqueAndFindable) {
+  Fabric fabric;
+  const NodeId a = fabric.add_ca("a");
+  const NodeId b = fabric.add_ca("b");
+  EXPECT_NE(fabric.node(a).guid, fabric.node(b).guid);
+  EXPECT_EQ(fabric.find_ca_by_guid(fabric.node(b).guid), b);
+  EXPECT_FALSE(fabric.find_ca_by_guid(Guid{0x999999}).has_value());
+  EXPECT_FALSE(fabric.find_ca_by_guid(kInvalidGuid).has_value());
+}
+
+TEST(Fabric, AliasGuidShadowsLookup) {
+  Fabric fabric;
+  const NodeId vf = fabric.add_ca("vf", 1, CaRole::kVf);
+  const Guid vguid = fabric.allocate_guid();
+  fabric.node(vf).alias_guid = vguid;
+  EXPECT_EQ(fabric.find_ca_by_guid(vguid), vf);
+  fabric.node(vf).alias_guid = kInvalidGuid;
+  EXPECT_FALSE(fabric.find_ca_by_guid(vguid).has_value());
+}
+
+TEST(Fabric, PortCountLimits) {
+  Fabric fabric;
+  EXPECT_THROW(fabric.add_switch("x", 0), std::invalid_argument);
+  EXPECT_THROW(fabric.add_switch("x", 255), std::invalid_argument);
+  EXPECT_NO_THROW(fabric.add_switch("x", 254));
+  EXPECT_THROW(fabric.add_ca("y", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,159 @@
+// Fault injection: link and switch failures, SM re-sweep behaviour, and the
+// §V-B disaster-recovery flexibility of spare VFs.
+#include <gtest/gtest.h>
+
+#include "fabric/trace.hpp"
+#include "routing/verify.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(Failures, LinkLossReroutesAfterResweep) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  // Kill the leaf0 -> spine0 uplink.
+  const NodeId leaf0 = s.built.leaves[0];
+  const Node& leaf = s.fabric.node(leaf0);
+  PortNum uplink = 0;
+  for (PortNum p = 1; p <= leaf.num_ports(); ++p) {
+    if (leaf.ports[p].connected() &&
+        leaf.ports[p].peer == s.built.spines[0]) {
+      uplink = p;
+      break;
+    }
+  }
+  ASSERT_NE(uplink, 0);
+  s.fabric.disconnect(leaf0, uplink);
+  s.sm->transport().invalidate_topology();
+
+  // Before the re-sweep some routes are broken (they pointed into the dead
+  // link)...
+  bool any_broken = false;
+  for (NodeId host : s.hosts) {
+    for (NodeId dst : s.hosts) {
+      if (host != dst &&
+          !fabric::trace_unicast(s.fabric, host, s.fabric.node(dst).lid())
+               .delivered()) {
+        any_broken = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_broken);
+
+  // ...after recompute + distribution everything heals via spine 1.
+  s.sm->compute_routes();
+  const auto dist = s.sm->distribute_lfts();
+  EXPECT_GT(dist.smps, 0u);
+  EXPECT_TRUE(routing::verify_routing(s.sm->routing_result()).ok);
+  for (NodeId host : s.hosts) {
+    for (NodeId dst : s.hosts) {
+      if (host == dst) continue;
+      EXPECT_TRUE(
+          fabric::trace_unicast(s.fabric, host, s.fabric.node(dst).lid())
+              .delivered());
+    }
+  }
+}
+
+TEST(Failures, ResweepSendsOnlyChangedBlocks) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  const auto first = s.sm->full_sweep();
+  // A no-change recompute distributes nothing...
+  s.sm->compute_routes();
+  EXPECT_EQ(s.sm->distribute_lfts().smps, 0u);
+  // ...and a one-link failure redistributes at most what the first sweep
+  // sent (diff-based distribution, not a full reload).
+  s.fabric.disconnect(s.built.leaves[0], 4);
+  s.sm->transport().invalidate_topology();
+  s.sm->compute_routes();
+  const auto dist = s.sm->distribute_lfts();
+  EXPECT_GT(dist.smps, 0u);
+  EXPECT_LE(dist.smps, first.distribution.smps);
+}
+
+TEST(Failures, SpineDeathSurvivable) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  // Disconnect every cable of spine 0: the tree degrades to one spine.
+  const NodeId spine = s.built.spines[0];
+  for (PortNum p = 1; p <= s.fabric.node(spine).num_ports(); ++p) {
+    if (s.fabric.node(spine).ports[p].connected()) {
+      s.fabric.disconnect(spine, p);
+    }
+  }
+  s.sm->transport().invalidate_topology();
+  s.sm->compute_routes();
+  s.sm->distribute_lfts();
+  // The dead spine's own LID is unreachable, but all host pairs heal.
+  for (NodeId host : s.hosts) {
+    for (NodeId dst : s.hosts) {
+      if (host == dst) continue;
+      EXPECT_TRUE(
+          fabric::trace_unicast(s.fabric, host, s.fabric.node(dst).lid())
+              .delivered());
+    }
+  }
+}
+
+TEST(Failures, SmpToDisconnectedSwitchIsUndeliverable) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  const NodeId spine = s.built.spines[1];
+  for (PortNum p = 1; p <= s.fabric.node(spine).num_ports(); ++p) {
+    if (s.fabric.node(spine).ports[p].connected()) {
+      s.fabric.disconnect(spine, p);
+    }
+  }
+  s.sm->transport().invalidate_topology();
+  std::vector<PortNum> block(kLftBlockSize, kDropPort);
+  const auto outcome = s.sm->transport().send_lft_block(spine, 0, block);
+  EXPECT_FALSE(outcome.delivered);
+  // Counted (the SM tried) but no time accrued for a delivery.
+  EXPECT_EQ(outcome.hops, 0u);
+}
+
+TEST(Failures, HypervisorUplinkLossCutsItsVmsOnly) {
+  auto s = test::VirtualSubnet::small(core::LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const auto victim = s.vsf->create_vm(3);
+  const auto bystander = s.vsf->create_vm(4);
+
+  // Cut hypervisor 3's uplink (vSwitch port 1).
+  s.fabric.disconnect(s.hyps[3].vswitch, 1);
+  EXPECT_FALSE(fabric::trace_unicast(s.fabric, s.hyps[0].pf,
+                                     s.vsf->vm(victim.vm).lid)
+                   .delivered());
+  EXPECT_TRUE(fabric::trace_unicast(s.fabric, s.hyps[0].pf,
+                                    s.vsf->vm(bystander.vm).lid)
+                  .delivered());
+}
+
+TEST(Failures, SpareVfsEnableEvacuation) {
+  // §V-B: "having more spare hypervisors and VFs adds flexibility for
+  // disaster recovery". A failing hypervisor's VMs evacuate onto spares —
+  // live migrations that keep every address.
+  auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
+  s.vsf->boot();
+  std::vector<core::VmHandle> vms;
+  for (int i = 0; i < 3; ++i) vms.push_back(s.vsf->create_vm(2).vm);
+
+  // Hypervisor 2 reports imminent failure: evacuate everything.
+  for (const auto vm : vms) {
+    const auto dst = s.vsf->find_free_hypervisor(std::size_t{2});
+    ASSERT_TRUE(dst.has_value());
+    const auto before = s.vsf->vm(vm).lid;
+    s.vsf->migrate_vm(vm, *dst);
+    EXPECT_EQ(s.vsf->vm(vm).lid, before);
+  }
+  // Now the uplink can die without any VM impact.
+  s.fabric.disconnect(s.hyps[2].vswitch, 1);
+  for (const auto vm : vms) {
+    EXPECT_TRUE(fabric::trace_unicast(s.fabric, s.hyps[0].pf,
+                                      s.vsf->vm(vm).lid)
+                    .delivered());
+  }
+}
+
+}  // namespace
+}  // namespace ibvs

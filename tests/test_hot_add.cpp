@@ -1,0 +1,85 @@
+// Hot-adding hypervisors to a running subnet (§V-B's growth scenario).
+#include <gtest/gtest.h>
+
+#include "fabric/trace.hpp"
+#include "routing/verify.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+using core::LidScheme;
+
+class HotAddTest : public ::testing::TestWithParam<LidScheme> {};
+
+TEST_P(HotAddTest, NewHypervisorJoinsAndHostsVms) {
+  // Leave slots 9..11 free for growth (8 hypervisors + SM on slot 8).
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto before_hyps = s.vsf->hypervisors().size();
+  const auto existing = s.vsf->create_vm(0);
+
+  const auto report =
+      s.vsf->add_hypervisor(s.built.host_slots[9], 4, "hyp-new");
+  EXPECT_EQ(report.hypervisor, before_hyps);
+  EXPECT_GT(report.path_computation_seconds, 0.0);  // real PCt, no shortcut
+  if (GetParam() == LidScheme::kPrepopulated) {
+    EXPECT_EQ(report.lids_assigned, 5u);  // PF + 4 VFs
+  } else {
+    EXPECT_EQ(report.lids_assigned, 1u);  // PF only
+  }
+  EXPECT_GT(report.distribution.smps, 0u);
+  EXPECT_TRUE(routing::verify_routing(s.sm->routing_result()).ok);
+
+  // The newcomer hosts a VM and everyone can talk to it.
+  const auto vm = s.vsf->create_vm(report.hypervisor);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), vm.lid));
+  // Pre-existing VMs are untouched.
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), existing.lid));
+}
+
+TEST_P(HotAddTest, MigrationsToAndFromTheNewcomer) {
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto vm = s.vsf->create_vm(0);
+  const auto report =
+      s.vsf->add_hypervisor(s.built.host_slots[10], 4, "hyp-new");
+
+  const auto there = s.vsf->migrate_vm(vm.vm, report.hypervisor);
+  EXPECT_GT(there.reconfig.switches_updated, 0u);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), vm.lid));
+
+  const auto back = s.vsf->migrate_vm(vm.vm, 0);
+  EXPECT_TRUE(fabric::all_reach(s.fabric, s.pf_nodes(), vm.lid));
+  (void)back;
+}
+
+TEST_P(HotAddTest, VmStartStaysCheapAfterGrowth) {
+  // The asymmetry the schemes are built around: adding a *hypervisor*
+  // costs a path computation; adding a *VM* afterwards still does not.
+  auto s = test::VirtualSubnet::small(GetParam());
+  s.vsf->boot();
+  const auto report =
+      s.vsf->add_hypervisor(s.built.host_slots[9], 4, "hyp-new");
+  const double pc_after_growth = s.sm->routing_result().compute_seconds;
+  const auto vm = s.vsf->create_vm(report.hypervisor);
+  EXPECT_EQ(s.sm->routing_result().compute_seconds, pc_after_growth);
+  EXPECT_TRUE(vm.vm.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, HotAddTest,
+    ::testing::Values(LidScheme::kPrepopulated, LidScheme::kDynamic),
+    [](const auto& info) {
+      return info.param == LidScheme::kPrepopulated ? "prepopulated"
+                                                    : "dynamic";
+    });
+
+TEST(HotAddGuards, RequiresBoot) {
+  auto s = test::VirtualSubnet::small(LidScheme::kDynamic);
+  EXPECT_THROW(s.vsf->add_hypervisor(s.built.host_slots[9], 4, "x"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "ib/lft.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(LftBlocks, BlockArithmetic) {
+  EXPECT_EQ(lft_block_of(Lid{0}), 0u);
+  EXPECT_EQ(lft_block_of(Lid{63}), 0u);
+  EXPECT_EQ(lft_block_of(Lid{64}), 1u);
+  EXPECT_EQ(lft_block_of(Lid{127}), 1u);
+  EXPECT_EQ(lft_block_of(kTopmostUnicastLid), 767u);
+  // A fully populated subnet needs 768 LFT blocks per switch (§VI-A).
+  EXPECT_EQ(lft_blocks_for(kTopmostUnicastLid), 768u);
+}
+
+TEST(Lft, DefaultsToDrop) {
+  Lft lft(Lid{100});
+  EXPECT_EQ(lft.get(Lid{1}), kDropPort);
+  EXPECT_EQ(lft.get(Lid{100}), kDropPort);
+  EXPECT_EQ(lft.get(Lid{60000}), kDropPort);  // out of range reads drop
+  EXPECT_EQ(lft.block_count(), 2u);
+  EXPECT_EQ(lft.capacity(), 128u);
+}
+
+TEST(Lft, SetAndGet) {
+  Lft lft;
+  lft.set(Lid{5}, 3);
+  EXPECT_EQ(lft.get(Lid{5}), 3);
+  lft.set(Lid{5}, 7);
+  EXPECT_EQ(lft.get(Lid{5}), 7);
+  EXPECT_EQ(lft.routed_count(), 1u);
+}
+
+TEST(Lft, SetRejectsNonUnicast) {
+  Lft lft;
+  EXPECT_THROW(lft.set(Lid{0}, 1), std::invalid_argument);
+  EXPECT_THROW(lft.set(Lid{0xC000}, 1), std::invalid_argument);
+  EXPECT_NO_THROW(lft.set(kTopmostUnicastLid, 1));
+}
+
+TEST(Lft, GrowsOnDemand) {
+  Lft lft;
+  EXPECT_EQ(lft.block_count(), 0u);
+  lft.set(Lid{200}, 1);
+  EXPECT_EQ(lft.block_count(), 4u);  // blocks 0..3 cover LID 200
+  EXPECT_EQ(lft.get(Lid{1}), kDropPort);
+}
+
+TEST(Lft, DirtyTracking) {
+  Lft lft(Lid{200});
+  EXPECT_TRUE(lft.dirty_blocks().empty());
+  lft.set(Lid{10}, 2);
+  lft.set(Lid{70}, 2);
+  lft.set(Lid{71}, 2);
+  const auto dirty = lft.dirty_blocks();
+  ASSERT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(dirty[0], 0u);
+  EXPECT_EQ(dirty[1], 1u);
+  lft.clear_dirty();
+  EXPECT_TRUE(lft.dirty_blocks().empty());
+  // Setting an entry to its existing value does not re-dirty the block.
+  lft.set(Lid{10}, 2);
+  EXPECT_TRUE(lft.dirty_blocks().empty());
+}
+
+TEST(Lft, SwapAcrossBlocksDirtiesTwoBlocks) {
+  // The Fig. 5 mechanics: swapping LIDs 2 and 12 touches one block; if the
+  // second LID were >= 64 it would touch two.
+  Lft lft(Lid{127});
+  lft.set(Lid{2}, 2);
+  lft.set(Lid{12}, 4);
+  lft.clear_dirty();
+  const PortNum a = lft.get(Lid{2});
+  const PortNum b = lft.get(Lid{12});
+  lft.set(Lid{2}, b);
+  lft.set(Lid{12}, a);
+  EXPECT_EQ(lft.dirty_blocks().size(), 1u);  // same 64-LID block
+
+  lft.set(Lid{100}, 5);
+  lft.clear_dirty();
+  const PortNum c = lft.get(Lid{100});
+  lft.set(Lid{2}, c);
+  lft.set(Lid{100}, b);
+  EXPECT_EQ(lft.dirty_blocks().size(), 2u);  // blocks 0 and 1
+}
+
+TEST(Lft, BlockReadWrite) {
+  Lft src(Lid{63});
+  src.set(Lid{1}, 9);
+  src.set(Lid{63}, 8);
+  const auto block = src.block(0);
+  ASSERT_EQ(block.size(), kLftBlockSize);
+  EXPECT_EQ(block[1], 9);
+  EXPECT_EQ(block[63], 8);
+
+  Lft dst;
+  dst.set_block(0, block);
+  EXPECT_EQ(dst.get(Lid{1}), 9);
+  EXPECT_EQ(dst.get(Lid{63}), 8);
+  EXPECT_THROW((void)src.block(5), std::invalid_argument);
+}
+
+TEST(Lft, DiffBlocks) {
+  Lft a(Lid{200});
+  Lft b(Lid{200});
+  EXPECT_TRUE(a.diff_blocks(b).empty());
+  a.set(Lid{5}, 1);
+  a.set(Lid{130}, 2);
+  const auto diff = a.diff_blocks(b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0], 0u);
+  EXPECT_EQ(diff[1], 2u);
+  b.set(Lid{5}, 1);
+  b.set(Lid{130}, 2);
+  EXPECT_TRUE(a.diff_blocks(b).empty());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Lft, DiffAgainstSmallerTable) {
+  Lft a(Lid{200});
+  Lft b;  // empty
+  a.set(Lid{130}, 2);
+  const auto diff = a.diff_blocks(b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], 2u);
+  // Symmetric view.
+  EXPECT_EQ(b.diff_blocks(a), diff);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Lft, ClearResetsEntries) {
+  Lft a(Lid{100});
+  a.set(Lid{10}, 3);
+  a.clear();
+  EXPECT_EQ(a.get(Lid{10}), kDropPort);
+  EXPECT_EQ(a.routed_count(), 0u);
+  // clear marks everything dirty (the whole table must be redistributed).
+  EXPECT_EQ(a.dirty_blocks().size(), a.block_count());
+}
+
+TEST(Lft, SetBlockSkipsNoopWrites) {
+  Lft a(Lid{63});
+  a.set(Lid{1}, 4);
+  a.clear_dirty();
+  const std::vector<PortNum> same(a.block(0).begin(), a.block(0).end());
+  a.set_block(0, same);
+  EXPECT_TRUE(a.dirty_blocks().empty());
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "ib/lid_map.hpp"
+
+namespace ibvs {
+namespace {
+
+struct LidMapTest : ::testing::Test {
+  Fabric fabric;
+  LidMap lids;
+  NodeId sw = kInvalidNode;
+  NodeId ca1 = kInvalidNode;
+  NodeId ca2 = kInvalidNode;
+
+  void SetUp() override {
+    sw = fabric.add_switch("sw", 8);
+    ca1 = fabric.add_ca("ca1");
+    ca2 = fabric.add_ca("ca2");
+    fabric.connect(ca1, 1, sw, 1);
+    fabric.connect(ca2, 1, sw, 2);
+  }
+};
+
+TEST_F(LidMapTest, SequentialAssignment) {
+  EXPECT_EQ(lids.assign_next(fabric, sw, 0), Lid{1});
+  EXPECT_EQ(lids.assign_next(fabric, ca1, 1), Lid{2});
+  EXPECT_EQ(lids.assign_next(fabric, ca2, 1), Lid{3});
+  EXPECT_EQ(lids.count(), 3u);
+  EXPECT_EQ(lids.top_lid(), Lid{3});
+  EXPECT_EQ(fabric.node(ca1).lid(), Lid{2});
+  EXPECT_EQ(fabric.node(sw).lid(), Lid{1});
+}
+
+TEST_F(LidMapTest, ExplicitAssignmentAndConflicts) {
+  lids.assign(fabric, ca1, 1, Lid{100});
+  EXPECT_TRUE(lids.assigned(Lid{100}));
+  EXPECT_THROW(lids.assign(fabric, ca2, 1, Lid{100}), std::invalid_argument);
+  EXPECT_THROW(lids.assign(fabric, ca2, 1, kInvalidLid),
+               std::invalid_argument);
+  EXPECT_THROW(lids.assign(fabric, ca2, 1, Lid{0xC000}),
+               std::invalid_argument);
+}
+
+TEST_F(LidMapTest, ReleaseAndReuse) {
+  const Lid a = lids.assign_next(fabric, ca1, 1);
+  const Lid b = lids.assign_next(fabric, ca2, 1);
+  lids.release(fabric, a);
+  EXPECT_FALSE(lids.assigned(a));
+  EXPECT_FALSE(fabric.node(ca1).lid().valid());
+  EXPECT_EQ(lids.top_lid(), b);
+  // The freed LID is the lowest free one and gets reused.
+  EXPECT_EQ(lids.assign_next(fabric, ca1, 1), a);
+}
+
+TEST_F(LidMapTest, TopLidRecomputesDownward) {
+  lids.assign(fabric, ca1, 1, Lid{10});
+  lids.assign(fabric, ca2, 1, Lid{200});
+  EXPECT_EQ(lids.top_lid(), Lid{200});
+  EXPECT_EQ(lids.min_lft_blocks(), 4u);  // LID 200 -> blocks 0..3
+  lids.release(fabric, Lid{200});
+  EXPECT_EQ(lids.top_lid(), Lid{10});
+  EXPECT_EQ(lids.min_lft_blocks(), 1u);
+}
+
+TEST_F(LidMapTest, MoveKeepsLidValue) {
+  const Lid lid = lids.assign_next(fabric, ca1, 1);
+  lids.move(fabric, lid, ca2, 1);
+  EXPECT_EQ(lids.owner(lid).node, ca2);
+  EXPECT_EQ(fabric.node(ca2).lid(), lid);
+  EXPECT_FALSE(fabric.node(ca1).lid().valid());
+}
+
+TEST_F(LidMapTest, SwapViaTwoMovesDoesNotClobber) {
+  // Regression: the §V-C1 LID swap is two move() calls touching the same
+  // ports; the second must not wipe what the first wrote.
+  const Lid a = lids.assign_next(fabric, ca1, 1);
+  const Lid b = lids.assign_next(fabric, ca2, 1);
+  lids.move(fabric, a, ca2, 1);
+  lids.move(fabric, b, ca1, 1);
+  EXPECT_EQ(fabric.node(ca2).lid(), a);
+  EXPECT_EQ(fabric.node(ca1).lid(), b);
+  EXPECT_EQ(lids.owner(a).node, ca2);
+  EXPECT_EQ(lids.owner(b).node, ca1);
+}
+
+TEST_F(LidMapTest, AssignedLidsSortedList) {
+  lids.assign(fabric, ca1, 1, Lid{5});
+  lids.assign(fabric, ca2, 1, Lid{2});
+  lids.assign(fabric, sw, 0, Lid{9});
+  const auto all = lids.assigned_lids();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], Lid{2});
+  EXPECT_EQ(all[1], Lid{5});
+  EXPECT_EQ(all[2], Lid{9});
+}
+
+TEST_F(LidMapTest, AttachmentOfCaAndSwitch) {
+  const Lid sw_lid = lids.assign_next(fabric, sw, 0);
+  const Lid ca_lid = lids.assign_next(fabric, ca1, 1);
+  const auto sw_attach = lids.attachment(fabric, sw_lid);
+  ASSERT_TRUE(sw_attach.has_value());
+  EXPECT_EQ(sw_attach->first, sw);
+  EXPECT_EQ(sw_attach->second, 0);
+  const auto ca_attach = lids.attachment(fabric, ca_lid);
+  ASSERT_TRUE(ca_attach.has_value());
+  EXPECT_EQ(ca_attach->first, sw);
+  EXPECT_EQ(ca_attach->second, 1);
+  EXPECT_FALSE(lids.attachment(fabric, Lid{999}).has_value());
+}
+
+TEST_F(LidMapTest, AttachmentThroughVSwitch) {
+  const NodeId vsw = fabric.add_switch("vsw", 4, SwitchFlavor::kVSwitch);
+  const NodeId vf = fabric.add_ca("vf", 1, CaRole::kVf);
+  fabric.connect(vsw, 1, sw, 3);
+  fabric.connect(vf, 1, vsw, 2);
+  const Lid lid = lids.assign_next(fabric, vf, 1);
+  const auto attach = lids.attachment(fabric, lid);
+  ASSERT_TRUE(attach.has_value());
+  EXPECT_EQ(attach->first, sw);
+  EXPECT_EQ(attach->second, 3);  // the vSwitch uplink's far end
+}
+
+TEST_F(LidMapTest, ReleaseErrors) {
+  EXPECT_THROW(lids.release(fabric, Lid{1}), std::invalid_argument);
+  EXPECT_THROW(lids.release(fabric, kInvalidLid), std::invalid_argument);
+}
+
+TEST_F(LidMapTest, MoveErrors) {
+  EXPECT_THROW(lids.move(fabric, Lid{1}, ca1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibvs

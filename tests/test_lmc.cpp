@@ -1,0 +1,159 @@
+// LID Mask Control (LMC) multipathing and its comparison with the
+// prepopulated-VF scheme (§V-A).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fabric/trace.hpp"
+#include "routing/verify.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(Lmc, PortOwnsAliasRange) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 4);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.connect(ca, 1, sw, 1);
+  LidMap lids;
+  const Lid base = lids.assign_lmc_block(fabric, ca, 1, 2);  // 4 LIDs
+  EXPECT_EQ(base.value() % 4, 0u);
+  const Port& port = fabric.node(ca).ports[1];
+  EXPECT_EQ(port.lmc, 2);
+  for (std::uint16_t off = 0; off < 4; ++off) {
+    EXPECT_TRUE(port.owns(Lid{static_cast<std::uint16_t>(base.value() + off)}));
+    EXPECT_TRUE(lids.assigned(Lid{static_cast<std::uint16_t>(base.value() + off)}));
+  }
+  EXPECT_FALSE(port.owns(Lid{static_cast<std::uint16_t>(base.value() + 4)}));
+  EXPECT_EQ(lids.count(), 4u);
+}
+
+TEST(Lmc, BlocksDoNotOverlapAndAlign) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 8);
+  LidMap lids;
+  // Fragment the space: occupy LID 2.
+  const NodeId filler = fabric.add_ca("filler");
+  fabric.connect(filler, 1, sw, 1);
+  lids.assign(fabric, filler, 1, Lid{2});
+  const NodeId a = fabric.add_ca("a");
+  const NodeId b = fabric.add_ca("b");
+  fabric.connect(a, 1, sw, 2);
+  fabric.connect(b, 1, sw, 3);
+  const Lid base_a = lids.assign_lmc_block(fabric, a, 1, 1);  // width 2
+  const Lid base_b = lids.assign_lmc_block(fabric, b, 1, 1);
+  EXPECT_EQ(base_a.value() % 2, 0u);
+  EXPECT_EQ(base_b.value() % 2, 0u);
+  // The block skipped the fragmented region around LID 2.
+  EXPECT_NE(base_a.value(), 2u);
+  EXPECT_NE(base_b.value(), base_a.value());
+}
+
+TEST(Lmc, MisalignedLmcRejected) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 4);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.connect(ca, 1, sw, 1);
+  fabric.set_lid(ca, 1, Lid{3});
+  EXPECT_THROW(fabric.set_lmc(ca, 1, 1), std::invalid_argument);  // 3 % 2
+  EXPECT_THROW(fabric.set_lmc(ca, 1, 9), std::invalid_argument);
+  fabric.set_lid(ca, 1, Lid{4});
+  EXPECT_NO_THROW(fabric.set_lmc(ca, 1, 2));
+}
+
+struct LmcFatTree {
+  Fabric fabric;
+  topology::Built built;
+  std::vector<NodeId> hosts;
+  LidMap lids;
+  routing::RoutingResult result;
+
+  explicit LmcFatTree(std::uint8_t lmc) {
+    built = topology::build_two_level_fat_tree(
+        fabric, topology::TwoLevelParams{.num_leaves = 2,
+                                         .num_spines = 4,
+                                         .hosts_per_leaf = 4,
+                                         .radix = 12});
+    hosts = topology::attach_hosts(fabric, built.host_slots);
+    for (NodeId sw : fabric.switch_ids()) lids.assign_next(fabric, sw, 0);
+    for (NodeId host : hosts) lids.assign_lmc_block(fabric, host, 1, lmc);
+    result = routing::make_engine(routing::EngineKind::kFatTree)
+                 ->compute(fabric, lids);
+  }
+};
+
+TEST(Lmc, EveryAliasIsRoutedAndVerifies) {
+  LmcFatTree t(2);
+  const auto report = routing::verify_routing(t.result);
+  EXPECT_TRUE(report.ok);
+  // 6 switches + 8 hosts x 4 aliases = 38 LIDs routed.
+  EXPECT_EQ(t.lids.count(), 6u + 32u);
+}
+
+TEST(Lmc, AliasesSpreadOverSpines) {
+  // The whole point of LMC: different aliases of the same port ride
+  // different spines (d-mod-k keys on the LID value).
+  LmcFatTree t(2);
+  const auto leaf0 = t.result.graph.dense(t.built.leaves[0]);
+  // Host on leaf 1: look at its 4 aliases from leaf 0's viewpoint.
+  const NodeId remote = t.hosts[4];
+  const Lid base = t.fabric.node(remote).lid();
+  std::set<PortNum> spines_used;
+  for (std::uint16_t off = 0; off < 4; ++off) {
+    spines_used.insert(t.result.lfts[leaf0].get(
+        Lid{static_cast<std::uint16_t>(base.value() + off)}));
+  }
+  EXPECT_EQ(spines_used.size(), 4u);  // all four spines
+}
+
+TEST(Lmc, TraceDeliversToAnyAlias) {
+  LmcFatTree t(1);
+  // Install LFTs.
+  for (routing::SwitchIdx i = 0; i < t.result.graph.num_switches(); ++i) {
+    Node& sw = t.fabric.node(t.result.graph.switches[i]);
+    for (std::size_t b = 0; b < t.result.lfts[i].block_count(); ++b) {
+      sw.lft.set_block(b, t.result.lfts[i].block(b));
+    }
+  }
+  const Lid base = t.fabric.node(t.hosts[7]).lid();
+  for (std::uint16_t off = 0; off < 2; ++off) {
+    const auto trace = fabric::trace_unicast(
+        t.fabric, t.hosts[0],
+        Lid{static_cast<std::uint16_t>(base.value() + off)});
+    EXPECT_TRUE(trace.delivered()) << "alias " << off;
+    EXPECT_EQ(trace.path.back(), t.hosts[7]);
+  }
+}
+
+TEST(Lmc, PrepopulatedVfsGiveMultipathWithoutSequentiality) {
+  // §V-A: "imitating the LMC feature ... without being bound by the
+  // limitation of the LMC that requires the LIDs to be sequential."
+  // After a migration scrambles the VF LIDs of a hypervisor, the
+  // prepopulated scheme still gives its VMs distinct spine paths — even
+  // though their LIDs are no longer contiguous.
+  auto s = test::VirtualSubnet::small(core::LidScheme::kPrepopulated, 8, 4,
+                                      routing::EngineKind::kFatTree);
+  s.vsf->boot();
+  const auto v0 = s.vsf->create_vm(0);
+  const auto v1 = s.vsf->create_vm(0);
+  // Shuffle: migrate v0 away and back so its VF LIDs are non-sequential.
+  s.vsf->migrate_vm(v0.vm, 7);
+  s.vsf->migrate_vm(v0.vm, 0);
+  const Lid l0 = s.vsf->vm(v0.vm).lid;
+  const Lid l1 = s.vsf->vm(v1.vm).lid;
+  EXPECT_EQ(l0, v0.lid);  // addresses survived the round trip
+
+  // Both VMs live behind hypervisor 0 (leaf 0); check the spine choice of
+  // a remote leaf for both LIDs.
+  const auto& routing = s.sm->routing_result();
+  const auto remote_leaf = routing.graph.dense(s.hyps[7].leaf);
+  const PortNum p0 = routing.lfts[remote_leaf].get(l0);
+  const PortNum p1 = routing.lfts[remote_leaf].get(l1);
+  // d-mod-k with 2 spines: consecutive VF LIDs get distinct spines; the
+  // migration round trip preserved the property.
+  EXPECT_NE(p0, p1);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,115 @@
+// Analytical model: equations (1)-(5) and Table I closed forms.
+#include <gtest/gtest.h>
+
+#include "model/cost.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(CostModel, Equation2LftDistribution) {
+  // n=54, m=11 (the 648-node tree), k+r scaled: LFTDt = n*m*(k+r).
+  const model::CostParams p{.n = 54, .m = 11, .k_us = 3.0, .r_us = 2.0};
+  EXPECT_DOUBLE_EQ(model::lft_distribution_us(p), 54 * 11 * 5.0);
+}
+
+TEST(CostModel, Equation3FullReconfiguration) {
+  const model::CostParams p{.n = 10, .m = 2, .k_us = 1.0, .r_us = 1.0};
+  EXPECT_DOUBLE_EQ(model::full_reconfiguration_us(1000.0, p), 1000.0 + 40.0);
+}
+
+TEST(CostModel, Equation4And5VSwitchReconfiguration) {
+  // vSwitch RCt = n' * m' * (k + r); destination routing drops r.
+  EXPECT_DOUBLE_EQ(model::vswitch_reconfiguration_us(5, 2, 3.0, 2.0),
+                   5 * 2 * 5.0);
+  EXPECT_DOUBLE_EQ(model::vswitch_reconfiguration_destrouted_us(5, 2, 3.0),
+                   5 * 2 * 3.0);
+  // Best case of the paper: a single SMP.
+  EXPECT_DOUBLE_EQ(model::vswitch_reconfiguration_destrouted_us(1, 1, 3.0),
+                   3.0);
+}
+
+TEST(CostModel, InLargeSubnetsVSwitchRcIsFarBelowFullRc) {
+  // The paper's headline inequality: vSwitch_RCt << RCt, since PCt
+  // dominates and the SMP count collapses from n*m to n'*m'.
+  const model::CostParams p{.n = 1620, .m = 208, .k_us = 5.0, .r_us = 3.0};
+  const double full = model::full_reconfiguration_us(67e6, p);  // PCt = 67 s
+  const double vswitch =
+      model::vswitch_reconfiguration_destrouted_us(1620, 2, 5.0);
+  EXPECT_LT(vswitch, full / 1000.0);
+}
+
+TEST(CostModel, PipeliningDividesSerialTime) {
+  EXPECT_DOUBLE_EQ(model::pipelined_us(100.0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(model::pipelined_us(100.0, 4), 25.0);
+  EXPECT_DOUBLE_EQ(model::pipelined_us(100.0, 0), 100.0);
+}
+
+TEST(Table1, PaperRowsReproduceExactly) {
+  const auto rows = model::table1_paper_rows();
+  ASSERT_EQ(rows.size(), 4u);
+
+  // | nodes | switches | LIDs | blocks | full RC | max swap |
+  EXPECT_EQ(rows[0].lids, 360u);
+  EXPECT_EQ(rows[0].min_lft_blocks, 6u);
+  EXPECT_EQ(rows[0].min_smps_full_rc, 216u);
+  EXPECT_EQ(rows[0].max_smps_swap, 72u);
+
+  EXPECT_EQ(rows[1].lids, 702u);
+  EXPECT_EQ(rows[1].min_lft_blocks, 11u);
+  EXPECT_EQ(rows[1].min_smps_full_rc, 594u);
+  EXPECT_EQ(rows[1].max_smps_swap, 108u);
+
+  EXPECT_EQ(rows[2].lids, 6804u);
+  EXPECT_EQ(rows[2].min_lft_blocks, 107u);
+  EXPECT_EQ(rows[2].min_smps_full_rc, 104004u);
+  EXPECT_EQ(rows[2].max_smps_swap, 1944u);
+
+  EXPECT_EQ(rows[3].lids, 13284u);
+  EXPECT_EQ(rows[3].min_lft_blocks, 208u);
+  EXPECT_EQ(rows[3].min_smps_full_rc, 336960u);
+  EXPECT_EQ(rows[3].max_smps_swap, 3240u);
+
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.min_smps_vswitch, 1u);  // best case: subnet-size agnostic
+    EXPECT_EQ(row.max_smps_copy, row.switches);
+  }
+}
+
+TEST(Table1, SavingsGrowWithSubnetSize) {
+  // §VII-C: 324 nodes -> max swap is 33.3% of full; 11664 -> 0.96%.
+  const auto rows = model::table1_paper_rows();
+  const double small = static_cast<double>(rows[0].max_smps_swap) /
+                       static_cast<double>(rows[0].min_smps_full_rc);
+  const double large = static_cast<double>(rows[3].max_smps_swap) /
+                       static_cast<double>(rows[3].min_smps_full_rc);
+  EXPECT_NEAR(small, 0.333, 0.001);
+  EXPECT_NEAR(large, 0.0096, 0.0002);
+  EXPECT_LT(large, small);
+}
+
+TEST(Table1, FullyPopulatedSubnetNeeds768Blocks) {
+  // §VII-C worst case: one node on the topmost unicast LID forces the whole
+  // 768-block table.
+  const auto row = model::table1_row(48000, 1151);
+  EXPECT_EQ(row.lids, 49151u);
+  EXPECT_EQ(row.min_lft_blocks, 768u);
+}
+
+TEST(PrepopulatedLimits, PaperSizingExample) {
+  // §V-A: 16 VFs -> 17 LIDs per hypervisor -> 2891 hypervisors, 46256 VMs.
+  const auto limits = model::prepopulated_limits(16);
+  EXPECT_EQ(limits.lids_per_hypervisor, 17u);
+  EXPECT_EQ(limits.max_hypervisors, 2891u);
+  EXPECT_EQ(limits.max_vms, 46256u);
+}
+
+TEST(PrepopulatedLimits, DegenerateCases) {
+  const auto none = model::prepopulated_limits(0);
+  EXPECT_EQ(none.max_vms, 0u);
+  const auto max = model::prepopulated_limits(126);
+  EXPECT_EQ(max.lids_per_hypervisor, 127u);
+  EXPECT_EQ(max.max_hypervisors, 49151u / 127u);
+}
+
+}  // namespace
+}  // namespace ibvs

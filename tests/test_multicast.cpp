@@ -1,0 +1,222 @@
+// Multicast groups, spanning trees, MFT distribution — and multicast across
+// vSwitch live migration (the companion problem the paper leaves open).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fabric/trace.hpp"
+#include "sm/multicast.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(MftPrimitive, MaskOperations) {
+  PortMask mask;
+  EXPECT_TRUE(mask.empty());
+  mask.set(3);
+  mask.set(17);
+  mask.set(200);
+  EXPECT_TRUE(mask.test(3));
+  EXPECT_TRUE(mask.test(200));
+  EXPECT_FALSE(mask.test(4));
+  EXPECT_EQ(mask.ports(), (std::vector<PortNum>{3, 17, 200}));
+  mask.clear(17);
+  EXPECT_FALSE(mask.test(17));
+  // Position slices: port 3 lives in position 0, port 17 in position 1.
+  PortMask two;
+  two.set(3);
+  two.set(17);
+  EXPECT_NE(two.position_bits(0), 0);
+  EXPECT_NE(two.position_bits(1), 0);
+  EXPECT_EQ(two.position_bits(2), 0);
+}
+
+TEST(MftPrimitive, TableAndDiff) {
+  Mft a;
+  Mft b;
+  const Lid m1{kFirstMulticastLid};
+  const Lid m2{static_cast<std::uint16_t>(kFirstMulticastLid + 40)};
+  EXPECT_TRUE(a.diff_blocks(b, 36).empty());
+
+  PortMask mask;
+  mask.set(2);
+  a.set(m1, mask);
+  auto diff = a.diff_blocks(b, 36);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].first, 0u);   // block 0
+  EXPECT_EQ(diff[0].second, 0);   // position 0 (port 2)
+
+  PortMask high;
+  high.set(20);  // position 1
+  a.set(m2, high);
+  diff = a.diff_blocks(b, 36);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[1].first, 1u);  // MLID +40 -> block 1
+
+  b.set(m1, mask);
+  b.set(m2, high);
+  EXPECT_TRUE(a.diff_blocks(b, 36).empty());
+  // Erase via empty mask.
+  a.set(m1, PortMask{});
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_THROW((void)a.get(Lid{5}), std::invalid_argument);  // not an MLID
+}
+
+struct McTest : ::testing::Test {
+  test::PhysicalSubnet s = test::PhysicalSubnet::small_fat_tree();
+  std::unique_ptr<sm::McGroupManager> mc;
+
+  void SetUp() override {
+    s.sm->full_sweep();
+    mc = std::make_unique<sm::McGroupManager>(*s.sm);
+  }
+
+  Lid lid_of(std::size_t host) const {
+    return s.fabric.node(s.hosts[host]).lid();
+  }
+};
+
+TEST_F(McTest, GroupLifecycle) {
+  const Lid mlid = mc->create_group(Guid{0xAA});
+  EXPECT_TRUE(is_multicast(mlid));
+  mc->join(mlid, lid_of(0));
+  mc->join(mlid, lid_of(5));
+  EXPECT_EQ(mc->group(mlid).members.size(), 2u);
+  mc->leave(mlid, lid_of(0));
+  EXPECT_EQ(mc->group(mlid).members.size(), 1u);
+  EXPECT_THROW(mc->leave(mlid, lid_of(0)), std::invalid_argument);
+  EXPECT_THROW(mc->join(mlid, Lid{999}), std::invalid_argument);
+  EXPECT_THROW((void)mc->group(Lid{0xC0FF}), std::invalid_argument);
+}
+
+TEST_F(McTest, DeliveryToExactlyTheMembers) {
+  const Lid mlid = mc->create_group(Guid{0xAB});
+  // Members on three different leaves.
+  mc->join(mlid, lid_of(0));
+  mc->join(mlid, lid_of(4));
+  mc->join(mlid, lid_of(9));
+  const auto dist = mc->distribute();
+  EXPECT_GT(dist.smps, 0u);
+  EXPECT_GT(dist.switches_touched, 0u);
+
+  for (const std::size_t sender : {0, 4, 9}) {
+    const auto delivered =
+        fabric::trace_multicast(s.fabric, s.hosts[sender], mlid);
+    std::vector<NodeId> expected{s.hosts[0], s.hosts[4], s.hosts[9]};
+    // The sender's own copy goes out and comes back only if the tree loops
+    // it; IB switches never reflect on the ingress, so the sender is not
+    // in the delivery set unless co-located with another member's switch.
+    for (const NodeId got : delivered) {
+      EXPECT_TRUE(std::find(expected.begin(), expected.end(), got) !=
+                  expected.end())
+          << "non-member " << s.fabric.node(got).name << " got a copy";
+    }
+    // All *other* members receive it.
+    for (const NodeId member : expected) {
+      if (member == s.hosts[sender]) continue;
+      EXPECT_TRUE(std::find(delivered.begin(), delivered.end(), member) !=
+                  delivered.end());
+    }
+  }
+}
+
+TEST_F(McTest, SameLeafMembersUseOnlyTheLeaf) {
+  const Lid mlid = mc->create_group(Guid{0xAC});
+  mc->join(mlid, lid_of(0));
+  mc->join(mlid, lid_of(1));  // hosts 0..2 share leaf 0
+  const auto dist = mc->distribute();
+  EXPECT_EQ(dist.switches_touched, 1u);  // only the shared leaf
+  const auto delivered = fabric::trace_multicast(s.fabric, s.hosts[0], mlid);
+  EXPECT_EQ(delivered, (std::vector<NodeId>{s.hosts[1]}));
+}
+
+TEST_F(McTest, DistributionIsDiffBasedAndIdempotent) {
+  const Lid mlid = mc->create_group(Guid{0xAD});
+  mc->join(mlid, lid_of(0));
+  mc->join(mlid, lid_of(11));
+  const auto first = mc->distribute();
+  EXPECT_GT(first.smps, 0u);
+  const auto again = mc->distribute();
+  EXPECT_EQ(again.smps, 0u);
+  // Leaving shrinks the tree: only the switches whose masks change get SMPs.
+  mc->leave(mlid, lid_of(11));
+  const auto shrink = mc->distribute();
+  EXPECT_GT(shrink.smps, 0u);
+  EXPECT_LE(shrink.smps, first.smps);
+}
+
+TEST_F(McTest, MultipleGroupsCoexist) {
+  const Lid a = mc->create_group(Guid{0xA1});
+  const Lid b = mc->create_group(Guid{0xA2});
+  EXPECT_NE(a, b);
+  mc->join(a, lid_of(0));
+  mc->join(a, lid_of(3));
+  mc->join(b, lid_of(6));
+  mc->join(b, lid_of(9));
+  mc->distribute();
+  const auto da = fabric::trace_multicast(s.fabric, s.hosts[0], a);
+  EXPECT_EQ(da, (std::vector<NodeId>{s.hosts[3]}));
+  const auto db = fabric::trace_multicast(s.fabric, s.hosts[6], b);
+  EXPECT_EQ(db, (std::vector<NodeId>{s.hosts[9]}));
+}
+
+TEST(McVSwitch, MembershipSurvivesLiveMigration) {
+  // The extension scenario: a VM in a multicast group live-migrates. Its
+  // LID (the group member key!) is unchanged — only the attachment moved,
+  // so a tree recompute + diff distribution restores multicast delivery.
+  auto s = test::VirtualSubnet::small(core::LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const auto vm1 = s.vsf->create_vm(0);
+  const auto vm2 = s.vsf->create_vm(4);
+
+  sm::McGroupManager mc(*s.sm);
+  const Lid mlid = mc.create_group(Guid{0xBEEF});
+  mc.join(mlid, vm1.lid);
+  mc.join(mlid, vm2.lid);
+  mc.distribute();
+
+  const NodeId vm1_node = s.vsf->vm_node(vm1.vm);
+  auto delivered = fabric::trace_multicast(s.fabric, vm1_node, mlid);
+  EXPECT_TRUE(std::find(delivered.begin(), delivered.end(),
+                        s.vsf->vm_node(vm2.vm)) != delivered.end());
+
+  // Migrate vm2 to another leaf; unicast reconfig runs as usual, then the
+  // multicast manager refreshes the trees of vm2's groups.
+  s.vsf->migrate_vm(vm2.vm, 7);
+  mc.refresh_after_move(vm2.lid);
+  const auto dist = mc.distribute();
+  EXPECT_GT(dist.smps, 0u);
+
+  delivered = fabric::trace_multicast(s.fabric, s.vsf->vm_node(vm1.vm), mlid);
+  EXPECT_TRUE(std::find(delivered.begin(), delivered.end(),
+                        s.vsf->vm_node(vm2.vm)) != delivered.end())
+      << "multicast lost the migrated member";
+  // And the reverse direction.
+  delivered = fabric::trace_multicast(s.fabric, s.vsf->vm_node(vm2.vm), mlid);
+  EXPECT_TRUE(std::find(delivered.begin(), delivered.end(),
+                        s.vsf->vm_node(vm1.vm)) != delivered.end());
+}
+
+TEST(McVSwitch, IntraLeafMigrationCostsFewMftSlices) {
+  auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
+  s.vsf->boot();
+  const auto vm1 = s.vsf->create_vm(0);
+  const auto vm2 = s.vsf->create_vm(3);
+  sm::McGroupManager mc(*s.sm);
+  const Lid mlid = mc.create_group(Guid{0xCAFE});
+  mc.join(mlid, vm1.lid);
+  mc.join(mlid, vm2.lid);
+  mc.distribute();
+
+  // Intra-leaf move of vm1 (hyp 0 -> 1, same leaf).
+  s.vsf->migrate_vm(vm1.vm, 1);
+  mc.refresh_after_move(vm1.lid);
+  const auto dist = mc.distribute();
+  // Only the leaf's delivery port changed: a single MFT slice.
+  EXPECT_LE(dist.switches_touched, 1u);
+  EXPECT_LE(dist.smps, 1u);
+}
+
+}  // namespace
+}  // namespace ibvs

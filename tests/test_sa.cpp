@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "sm/sa.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+struct SaTest : ::testing::Test {
+  test::PhysicalSubnet s = test::PhysicalSubnet::small_fat_tree();
+
+  void SetUp() override { s.sm->full_sweep(); }
+
+  Lid lid_of(std::size_t host) const {
+    return s.fabric.node(s.hosts[host]).lid();
+  }
+  Guid guid_of(std::size_t host) const {
+    return s.fabric.node(s.hosts[host]).guid;
+  }
+};
+
+TEST_F(SaTest, QueryResolvesPath) {
+  sm::SaService sa(*s.sm);
+  const auto record = sa.query(lid_of(0), guid_of(11));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->slid, lid_of(0));
+  EXPECT_EQ(record->dlid, lid_of(11));
+  EXPECT_EQ(record->dguid, guid_of(11));
+  // Hosts 0 and 11 sit on different leaves: leaf -> spine -> leaf.
+  EXPECT_EQ(record->hops, 2);
+  EXPECT_EQ(sa.queries_served(), 1u);
+}
+
+TEST_F(SaTest, QuerySameLeafIsZeroSwitchHops) {
+  sm::SaService sa(*s.sm);
+  // Hosts 0..2 share leaf 0.
+  const auto record = sa.query(lid_of(0), guid_of(1));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->hops, 0);
+}
+
+TEST_F(SaTest, QueryUnknownGuidFails) {
+  sm::SaService sa(*s.sm);
+  EXPECT_FALSE(sa.query(lid_of(0), Guid{0x12345678}).has_value());
+  EXPECT_EQ(sa.queries_served(), 1u);  // still counted as SA load
+}
+
+TEST_F(SaTest, CacheHitsAfterFirstResolve) {
+  sm::SaService sa(*s.sm);
+  sm::PathRecordCache cache(sa, *s.sm);
+  const auto first = cache.resolve(lid_of(0), guid_of(5));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = cache.resolve(lid_of(0), guid_of(5));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->dlid, first->dlid);
+  }
+  EXPECT_EQ(cache.hits(), 5u);
+  EXPECT_EQ(sa.queries_served(), 1u);  // the cache absorbed the rest
+}
+
+TEST_F(SaTest, CacheSurvivesVSwitchStyleMigration) {
+  // The [10] result: if the GUID keeps its LID across the move (vSwitch
+  // migration), cached records stay valid — no SA query after migration.
+  sm::SaService sa(*s.sm);
+  sm::PathRecordCache cache(sa, *s.sm);
+  ASSERT_TRUE(cache.resolve(lid_of(0), guid_of(5)).has_value());
+
+  // Simulate a vSwitch-style migration of host 5's LID+GUID to host 10's
+  // port: both addresses move together.
+  const Lid moved_lid = lid_of(5);
+  const Guid moved_guid = guid_of(5);
+  s.fabric.node(s.hosts[10]).alias_guid = moved_guid;
+  s.fabric.node(s.hosts[5]).guid = Guid{0xFFFF0001};  // old spot renamed
+  s.sm->lids().move(s.fabric, moved_lid, s.hosts[10], 1);
+  s.sm->refresh_targets();
+
+  const auto after = cache.resolve(lid_of(0), moved_guid);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->dlid, moved_lid);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.stale_hits(), 0u);
+  EXPECT_EQ(sa.queries_served(), 1u);  // still only the initial query
+}
+
+TEST_F(SaTest, CacheGoesStaleOnSharedPortStyleMigration) {
+  // Shared Port: the GUID moves but the LID does not follow — the VM now
+  // answers on the destination hypervisor's LID. The cached record is
+  // stale; resolve must re-query.
+  sm::SaService sa(*s.sm);
+  sm::PathRecordCache cache(sa, *s.sm);
+  ASSERT_TRUE(cache.resolve(lid_of(0), guid_of(5)).has_value());
+
+  const Guid moved_guid = guid_of(5);
+  s.fabric.node(s.hosts[5]).guid = Guid{0xFFFF0002};
+  s.fabric.node(s.hosts[10]).alias_guid = moved_guid;  // GUID moved ...
+  // ... but host 10 keeps its own LID: the binding changed.
+
+  const auto after = cache.resolve(lid_of(0), moved_guid);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->dlid, lid_of(10));
+  EXPECT_EQ(cache.stale_hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(sa.queries_served(), 2u);
+}
+
+TEST_F(SaTest, InvalidateAllForcesRequery) {
+  sm::SaService sa(*s.sm);
+  sm::PathRecordCache cache(sa, *s.sm);
+  cache.resolve(lid_of(0), guid_of(5));
+  cache.invalidate_all();
+  cache.resolve(lid_of(0), guid_of(5));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(sa.queries_served(), 2u);
+}
+
+TEST_F(SaTest, PerSourceCaching) {
+  sm::SaService sa(*s.sm);
+  sm::PathRecordCache cache(sa, *s.sm);
+  cache.resolve(lid_of(0), guid_of(5));
+  cache.resolve(lid_of(1), guid_of(5));  // different source: its own entry
+  EXPECT_EQ(cache.misses(), 2u);
+  cache.resolve(lid_of(0), guid_of(5));
+  cache.resolve(lid_of(1), guid_of(5));
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST_F(SaTest, ServiceLevelReflectsRouting) {
+  // With minhop everything rides VL 0.
+  sm::SaService sa(*s.sm);
+  const auto record = sa.query(lid_of(0), guid_of(11));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->sl, 0);
+}
+
+}  // namespace
+}  // namespace ibvs

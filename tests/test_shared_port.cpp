@@ -1,0 +1,92 @@
+// Shared Port baseline behaviour (§IV-A) — what the vSwitch fixes.
+#include <gtest/gtest.h>
+
+#include "core/shared_port.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/hosts.hpp"
+
+namespace ibvs {
+namespace {
+
+struct SharedPortTest : ::testing::Test {
+  Fabric fabric;
+  LidMap lids;
+  std::vector<NodeId> hcas;
+  std::unique_ptr<core::SharedPortFabric> sp;
+
+  void SetUp() override {
+    const auto built = topology::build_two_level_fat_tree(
+        fabric, topology::TwoLevelParams{.num_leaves = 2,
+                                         .num_spines = 1,
+                                         .hosts_per_leaf = 2,
+                                         .radix = 8});
+    hcas = topology::attach_hosts(fabric, built.host_slots);
+    for (NodeId sw : fabric.switch_ids()) lids.assign_next(fabric, sw, 0);
+    std::vector<core::SharedPortHypervisor> hyps;
+    for (NodeId hca : hcas) {
+      lids.assign_next(fabric, hca, 1);
+      hyps.push_back(core::SharedPortHypervisor{hca, 4});
+    }
+    sp = std::make_unique<core::SharedPortFabric>(fabric, lids, hyps);
+  }
+};
+
+TEST_F(SharedPortTest, AllVmsShareTheHypervisorLid) {
+  sp->create_vm(0);
+  sp->create_vm(0);
+  const auto a = sp->vm(1);
+  const auto b = sp->vm(2);
+  EXPECT_EQ(a.hypervisor, b.hypervisor);
+  // Different GIDs (via per-VF GUIDs), same LID.
+  EXPECT_NE(a.vguid, b.vguid);
+  EXPECT_EQ(sp->shared_lid(0), fabric.node(hcas[0]).lid());
+  EXPECT_EQ(sp->vms_on(0), 2u);
+}
+
+TEST_F(SharedPortTest, NoSmInsideVms) {
+  // QP0 access is blocked for VFs: a fundamental Shared Port limitation.
+  EXPECT_FALSE(core::SharedPortFabric::vm_may_run_sm());
+}
+
+TEST_F(SharedPortTest, MigrationChangesTheVmsLid) {
+  const auto id = sp->create_vm(0);
+  const auto report = sp->migrate_vm(id, 2, /*active_peers=*/7);
+  EXPECT_TRUE(report.lid_changed);
+  EXPECT_NE(report.old_lid, report.new_lid);
+  // Every active peer must rediscover the VM: the SA query storm of §I.
+  EXPECT_EQ(report.peers_with_stale_paths, 7u);
+  EXPECT_EQ(sp->vm(id).hypervisor, 2u);
+}
+
+TEST_F(SharedPortTest, EmulatedLidMigrationBreaksCoResidents) {
+  // The paper's §VII-B emulation: moving the LID with the VM cuts off every
+  // other VM sharing that LID — hence their one-VM-per-node restriction.
+  sp->create_vm(0);
+  sp->create_vm(0);
+  const auto mover = sp->create_vm(0);
+  const auto report =
+      sp->migrate_vm(mover, 3, /*active_peers=*/4,
+                     /*emulate_lid_migration=*/true);
+  EXPECT_EQ(report.co_resident_vms_broken, 2u);
+  EXPECT_FALSE(report.lid_changed);  // the VM kept the LID...
+  // ...and the destination HCA now answers to it.
+  EXPECT_EQ(fabric.node(hcas[3]).lid(), report.old_lid);
+}
+
+TEST_F(SharedPortTest, CapacityAndErrorHandling) {
+  for (int i = 0; i < 4; ++i) sp->create_vm(1);
+  EXPECT_THROW(sp->create_vm(1), std::invalid_argument);
+  EXPECT_THROW((void)sp->vm(99), std::invalid_argument);
+  const auto id = sp->create_vm(0);
+  EXPECT_THROW(sp->migrate_vm(id, 0, 0), std::invalid_argument);  // self
+  EXPECT_THROW(sp->migrate_vm(id, 1, 0), std::invalid_argument);  // full
+}
+
+TEST_F(SharedPortTest, SingleVmMigrationBreaksNobodyUnderEmulation) {
+  const auto id = sp->create_vm(0);
+  const auto report = sp->migrate_vm(id, 1, 0, true);
+  EXPECT_EQ(report.co_resident_vms_broken, 0u);
+}
+
+}  // namespace
+}  // namespace ibvs

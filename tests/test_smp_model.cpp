@@ -1,0 +1,85 @@
+// SMP model: attribute naming, counters, streaming.
+#include "fabric/timing.hpp"
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ib/smp.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(SmpModel, AttributeNames) {
+  EXPECT_EQ(to_string(SmpAttribute::kNodeInfo), "NodeInfo");
+  EXPECT_EQ(to_string(SmpAttribute::kPortInfo), "PortInfo");
+  EXPECT_EQ(to_string(SmpAttribute::kSwitchInfo), "SwitchInfo");
+  EXPECT_EQ(to_string(SmpAttribute::kLinearFwdTable), "LinearFwdTable");
+  EXPECT_EQ(to_string(SmpAttribute::kMulticastFwdTable), "MulticastFwdTable");
+  EXPECT_EQ(to_string(SmpAttribute::kGuidInfo), "GuidInfo");
+  EXPECT_EQ(to_string(SmpAttribute::kVSwitchLidAssign), "VSwitchLidAssign");
+}
+
+TEST(SmpModel, Streaming) {
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kLinearFwdTable;
+  smp.routing = SmpRouting::kDirected;
+  smp.target = 42;
+  smp.block = 7;
+  smp.route = {1, 2, 3};
+  std::ostringstream os;
+  os << smp;
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Set(LinearFwdTable)"), std::string::npos);
+  EXPECT_NE(text.find("node 42"), std::string::npos);
+  EXPECT_NE(text.find("block 7"), std::string::npos);
+  EXPECT_NE(text.find("DR 3 hops"), std::string::npos);
+}
+
+TEST(SmpModel, CountersClassifyAndAggregate) {
+  SmpCounters counters;
+  const auto record = [&](SmpAttribute attribute, SmpRouting routing) {
+    Smp smp;
+    smp.attribute = attribute;
+    smp.routing = routing;
+    counters.record(smp);
+  };
+  record(SmpAttribute::kLinearFwdTable, SmpRouting::kDirected);
+  record(SmpAttribute::kMulticastFwdTable, SmpRouting::kLidRouted);
+  record(SmpAttribute::kNodeInfo, SmpRouting::kDirected);
+  record(SmpAttribute::kSwitchInfo, SmpRouting::kDirected);
+  record(SmpAttribute::kPortInfo, SmpRouting::kDirected);
+  record(SmpAttribute::kGuidInfo, SmpRouting::kLidRouted);
+  record(SmpAttribute::kVSwitchLidAssign, SmpRouting::kLidRouted);
+
+  EXPECT_EQ(counters.total, 7u);
+  EXPECT_EQ(counters.lft_block_writes, 1u);
+  EXPECT_EQ(counters.mft_block_writes, 1u);
+  EXPECT_EQ(counters.discovery, 2u);
+  EXPECT_EQ(counters.port_info, 1u);
+  EXPECT_EQ(counters.guid_info, 1u);
+  EXPECT_EQ(counters.vf_lid_assign, 1u);
+  EXPECT_EQ(counters.directed, 4u);
+  EXPECT_EQ(counters.lid_routed, 3u);
+
+  SmpCounters sum;
+  sum += counters;
+  sum += counters;
+  EXPECT_EQ(sum.total, 14u);
+  EXPECT_EQ(sum.lft_block_writes, 2u);
+  EXPECT_EQ(sum.directed, 8u);
+}
+
+TEST(SmpModel, TimingModelTerms) {
+  // The k and r of eqs. (2)-(5), spelled out for one SMP.
+  fabric::TimingModel timing;
+  timing.hop_latency_us = 2.0;
+  timing.directed_hop_overhead_us = 3.0;
+  timing.target_processing_us = 1.0;
+  EXPECT_DOUBLE_EQ(timing.smp_latency_us(4, false), 4 * 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(timing.smp_latency_us(4, true), 4 * (2.0 + 3.0) + 1.0);
+  EXPECT_DOUBLE_EQ(timing.smp_latency_us(0, true), 1.0);  // local target
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/virtualizer.hpp"
+#include "fabric/trace.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/hosts.hpp"
+
+namespace ibvs {
+namespace {
+
+struct TraceTest : ::testing::Test {
+  Fabric fabric;
+  NodeId leaf0 = kInvalidNode;
+  NodeId leaf1 = kInvalidNode;
+  NodeId spine = kInvalidNode;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  void SetUp() override {
+    leaf0 = fabric.add_switch("leaf0", 4);
+    leaf1 = fabric.add_switch("leaf1", 4);
+    spine = fabric.add_switch("spine", 4);
+    a = fabric.add_ca("a");
+    b = fabric.add_ca("b");
+    fabric.connect(a, 1, leaf0, 1);
+    fabric.connect(b, 1, leaf1, 1);
+    fabric.connect(leaf0, 4, spine, 1);
+    fabric.connect(leaf1, 4, spine, 2);
+    fabric.set_lid(a, 1, Lid{10});
+    fabric.set_lid(b, 1, Lid{11});
+    fabric.set_lid(leaf0, 0, Lid{1});
+    fabric.set_lid(leaf1, 0, Lid{2});
+    fabric.set_lid(spine, 0, Lid{3});
+  }
+
+  void install_routes() {
+    fabric.node(leaf0).lft.set(Lid{11}, 4);
+    fabric.node(spine).lft.set(Lid{11}, 2);
+    fabric.node(leaf1).lft.set(Lid{11}, 1);
+  }
+};
+
+TEST_F(TraceTest, DeliversAlongLfts) {
+  install_routes();
+  const auto t = fabric::trace_unicast(fabric, a, Lid{11});
+  EXPECT_TRUE(t.delivered());
+  EXPECT_EQ(t.status, fabric::TraceStatus::kDelivered);
+  ASSERT_EQ(t.path.size(), 5u);
+  EXPECT_EQ(t.path.front(), a);
+  EXPECT_EQ(t.path.back(), b);
+}
+
+TEST_F(TraceTest, Loopback) {
+  const auto t = fabric::trace_unicast(fabric, a, Lid{10});
+  EXPECT_TRUE(t.delivered());
+  EXPECT_EQ(t.path.size(), 1u);
+}
+
+TEST_F(TraceTest, DropsOnUnroutedEntry) {
+  const auto t = fabric::trace_unicast(fabric, a, Lid{11});
+  EXPECT_EQ(t.status, fabric::TraceStatus::kDropped);
+}
+
+TEST_F(TraceTest, DetectsForwardingLoop) {
+  // leaf0 and spine bounce LID 11 between each other.
+  fabric.node(leaf0).lft.set(Lid{11}, 4);
+  fabric.node(spine).lft.set(Lid{11}, 1);
+  const auto t = fabric::trace_unicast(fabric, a, Lid{11});
+  EXPECT_EQ(t.status, fabric::TraceStatus::kLoop);
+}
+
+TEST_F(TraceTest, WrongDeliveryDetected) {
+  // Route LID 11 into CA `a`'s own leaf port: lands at the wrong endpoint.
+  fabric.node(leaf0).lft.set(Lid{11}, 1);
+  const auto from_b_side = fabric::trace_unicast(fabric, b, Lid{11});
+  EXPECT_TRUE(from_b_side.delivered());  // loopback at b itself
+  // From a: leaf0 delivers back into a, which does not own 11.
+  const auto t = fabric::trace_unicast(fabric, a, Lid{11});
+  EXPECT_EQ(t.status, fabric::TraceStatus::kWrongDelivery);
+}
+
+TEST_F(TraceTest, SwitchLidDelivery) {
+  install_routes();
+  fabric.node(leaf0).lft.set(Lid{3}, 4);
+  const auto t = fabric::trace_unicast(fabric, a, Lid{3});
+  EXPECT_TRUE(t.delivered());
+  EXPECT_EQ(t.path.back(), spine);
+}
+
+TEST_F(TraceTest, AllReachHelper) {
+  install_routes();
+  fabric.node(leaf1).lft.set(Lid{10}, 4);
+  fabric.node(spine).lft.set(Lid{10}, 1);
+  fabric.node(leaf0).lft.set(Lid{10}, 1);
+  EXPECT_TRUE(fabric::all_reach(fabric, {a, b}, Lid{10}));
+  EXPECT_TRUE(fabric::all_reach(fabric, {a, b}, Lid{11}));
+  fabric.node(spine).lft.set(Lid{10}, kDropPort);
+  EXPECT_FALSE(fabric::all_reach(fabric, {a, b}, Lid{10}));
+}
+
+TEST(TraceVSwitch, ForwardsThroughVSwitch) {
+  Fabric fabric;
+  const NodeId leaf = fabric.add_switch("leaf", 4);
+  const auto hyp = core::attach_hypervisor(
+      fabric, topology::HostSlot{leaf, 1}, 2, "hyp");
+  const NodeId peer = fabric.add_ca("peer");
+  fabric.connect(peer, 1, leaf, 2);
+  fabric.set_lid(peer, 1, Lid{5});
+  fabric.set_lid(hyp.pf, 1, Lid{6});
+  fabric.set_lid(hyp.vfs[0], 1, Lid{7});
+  fabric.set_lid(hyp.vswitch, 0, Lid{6});  // shares the PF LID
+
+  // Routes on the physical leaf.
+  fabric.node(leaf).lft.set(Lid{5}, 2);
+  fabric.node(leaf).lft.set(Lid{6}, 1);
+  fabric.node(leaf).lft.set(Lid{7}, 1);
+
+  // peer -> VF traverses leaf then the vSwitch's functional forwarding.
+  const auto down = fabric::trace_unicast(fabric, peer, Lid{7});
+  EXPECT_TRUE(down.delivered());
+  EXPECT_EQ(down.path.back(), hyp.vfs[0]);
+
+  // VF -> peer goes up the shared uplink.
+  const auto up = fabric::trace_unicast(fabric, hyp.vfs[0], Lid{5});
+  EXPECT_TRUE(up.delivered());
+  EXPECT_EQ(up.path.back(), peer);
+
+  // VF -> PF stays inside the vSwitch (never touches the leaf).
+  const auto local = fabric::trace_unicast(fabric, hyp.vfs[0], Lid{6});
+  EXPECT_TRUE(local.delivered());
+  for (NodeId n : local.path) EXPECT_NE(n, leaf);
+
+  // Unknown LID arriving at the vSwitch from the uplink is dropped there.
+  fabric.node(leaf).lft.set(Lid{9}, 1);
+  const auto dropped = fabric::trace_unicast(fabric, peer, Lid{9});
+  EXPECT_EQ(dropped.status, fabric::TraceStatus::kDropped);
+}
+
+TEST(TraceErrors, RequiresCaSourceAndValidLid) {
+  Fabric fabric;
+  const NodeId sw = fabric.add_switch("sw", 2);
+  const NodeId ca = fabric.add_ca("ca");
+  fabric.connect(ca, 1, sw, 1);
+  EXPECT_THROW(fabric::trace_unicast(fabric, sw, Lid{1}),
+               std::invalid_argument);
+  EXPECT_THROW(fabric::trace_unicast(fabric, ca, kInvalidLid),
+               std::invalid_argument);
+}
+
+TEST(TraceStatusNames, Strings) {
+  EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kDelivered), "delivered");
+  EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kLoop), "loop");
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "fabric/transport.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/hosts.hpp"
+
+namespace ibvs {
+namespace {
+
+struct TransportTest : ::testing::Test {
+  Fabric fabric;
+  topology::Built built;
+  std::vector<NodeId> hosts;
+
+  void SetUp() override {
+    built = topology::build_two_level_fat_tree(
+        fabric, topology::TwoLevelParams{.num_leaves = 2,
+                                         .num_spines = 2,
+                                         .hosts_per_leaf = 2,
+                                         .radix = 8});
+    hosts = topology::attach_hosts(fabric, built.host_slots);
+  }
+};
+
+TEST_F(TransportTest, HopCounts) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  EXPECT_EQ(transport.hops_to(hosts[0]), 0u);
+  EXPECT_EQ(transport.hops_to(built.leaves[0]), 1u);   // own leaf
+  EXPECT_EQ(transport.hops_to(built.spines[0]), 2u);
+  EXPECT_EQ(transport.hops_to(built.leaves[1]), 3u);   // across a spine
+  EXPECT_EQ(transport.hops_to(hosts[2]), 4u);          // host on other leaf
+}
+
+TEST_F(TransportTest, HopsInvalidateOnTopologyChange) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  EXPECT_TRUE(transport.hops_to(hosts[2]).has_value());
+  fabric.disconnect(hosts[2], 1);
+  transport.invalidate_topology();
+  EXPECT_FALSE(transport.hops_to(hosts[2]).has_value());
+}
+
+TEST_F(TransportTest, LftBlockWriteInstalls) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  std::vector<PortNum> block(kLftBlockSize, kDropPort);
+  block[5] = 3;
+  const auto outcome = transport.send_lft_block(built.leaves[1], 0, block);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.hops, 3u);
+  EXPECT_EQ(fabric.node(built.leaves[1]).lft.get(Lid{5}), 3);
+  EXPECT_EQ(transport.counters().lft_block_writes, 1u);
+  EXPECT_EQ(transport.counters().total, 1u);
+}
+
+TEST_F(TransportTest, LftBlockRejectsNonSwitchTargets) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  std::vector<PortNum> block(kLftBlockSize, kDropPort);
+  EXPECT_THROW(transport.send_lft_block(hosts[1], 0, block),
+               std::invalid_argument);
+}
+
+TEST_F(TransportTest, DirectedCostsMoreThanLidRouted) {
+  fabric::TimingModel timing;
+  timing.hop_latency_us = 1.0;
+  timing.directed_hop_overhead_us = 4.0;
+  timing.target_processing_us = 0.0;
+  fabric::SmpTransport transport(fabric, hosts[0], timing);
+  std::vector<PortNum> block(kLftBlockSize, kDropPort);
+  const auto directed = transport.send_lft_block(built.spines[0], 0, block,
+                                                 SmpRouting::kDirected);
+  const auto lid_routed = transport.send_lft_block(built.spines[0], 0, block,
+                                                   SmpRouting::kLidRouted);
+  EXPECT_DOUBLE_EQ(directed.latency_us, 2 * (1.0 + 4.0));  // eq. (2) k + r
+  EXPECT_DOUBLE_EQ(lid_routed.latency_us, 2 * 1.0);        // eq. (5) k only
+  EXPECT_EQ(transport.counters().directed, 1u);
+  EXPECT_EQ(transport.counters().lid_routed, 1u);
+}
+
+TEST_F(TransportTest, CountersClassifyAttributes) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  transport.send_vf_lid_assign(hosts[1], 2, Lid{9});
+  transport.send_guid_info(hosts[1], 1, Guid{1});
+  transport.send_port_info_set(hosts[1], 1);
+  transport.send_discovery_get(hosts[1], SmpAttribute::kNodeInfo, 4);
+  const auto& c = transport.counters();
+  EXPECT_EQ(c.vf_lid_assign, 1u);
+  EXPECT_EQ(c.guid_info, 1u);
+  EXPECT_EQ(c.port_info, 1u);
+  EXPECT_EQ(c.discovery, 1u);
+  EXPECT_EQ(c.total, 4u);
+  transport.reset_counters();
+  EXPECT_EQ(transport.counters().total, 0u);
+}
+
+TEST_F(TransportTest, MftSlicesAreCountedAndTimed) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  const auto outcome = transport.send_mft_slice(built.spines[0], 0, 1);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.hops, 2u);
+  EXPECT_GT(outcome.latency_us, 0.0);
+  EXPECT_EQ(transport.counters().mft_block_writes, 1u);
+  EXPECT_EQ(transport.counters().total, 1u);
+  // MFTs live on physical switches only.
+  EXPECT_THROW(transport.send_mft_slice(hosts[1], 0, 0),
+               std::invalid_argument);
+}
+
+TEST_F(TransportTest, SerialBatchSumsLatencies) {
+  fabric::TimingModel timing;
+  timing.hop_latency_us = 1.0;
+  timing.directed_hop_overhead_us = 0.0;
+  timing.sm_issue_gap_us = 0.0;
+  timing.target_processing_us = 0.0;
+  timing.pipeline_depth = 1;
+  fabric::SmpTransport transport(fabric, hosts[0], timing);
+  std::vector<PortNum> block(kLftBlockSize, kDropPort);
+
+  transport.begin_batch();
+  // Two SMPs to a 1-hop switch: serial makespan = 1 + 1 us.
+  transport.send_lft_block(built.leaves[0], 0, block);
+  transport.send_lft_block(built.leaves[0], 1, block);
+  const double makespan = transport.end_batch();
+  EXPECT_DOUBLE_EQ(makespan, 2.0);
+}
+
+TEST_F(TransportTest, PipeliningShortensBatch) {
+  fabric::TimingModel timing;
+  timing.hop_latency_us = 10.0;
+  timing.directed_hop_overhead_us = 0.0;
+  timing.sm_issue_gap_us = 1.0;
+  timing.target_processing_us = 0.0;
+
+  const auto makespan_with_depth = [&](unsigned depth) {
+    timing.pipeline_depth = depth;
+    fabric::SmpTransport transport(fabric, hosts[0], timing);
+    std::vector<PortNum> block(kLftBlockSize, kDropPort);
+    transport.begin_batch();
+    for (int i = 0; i < 8; ++i) {
+      transport.send_lft_block(built.leaves[0], i, block);
+    }
+    return transport.end_batch();
+  };
+
+  const double serial = makespan_with_depth(1);
+  const double piped = makespan_with_depth(4);
+  EXPECT_LT(piped, serial);
+  // Serial: each SMP waits for the previous (10us each): 8 * 10 = 80.
+  EXPECT_DOUBLE_EQ(serial, 80.0);
+}
+
+TEST_F(TransportTest, BatchMisuseThrows) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  EXPECT_THROW(transport.end_batch(), std::invalid_argument);
+  transport.begin_batch();
+  EXPECT_THROW(transport.begin_batch(), std::invalid_argument);
+  transport.end_batch();
+}
+
+TEST_F(TransportTest, TotalTimeAccumulates) {
+  fabric::SmpTransport transport(fabric, hosts[0]);
+  std::vector<PortNum> block(kLftBlockSize, kDropPort);
+  transport.send_lft_block(built.leaves[0], 0, block);
+  EXPECT_GT(transport.total_time_us(), 0.0);
+  transport.reset_time();
+  EXPECT_DOUBLE_EQ(transport.total_time_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace ibvs

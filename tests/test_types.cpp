@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "ib/types.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(Lid, ValidityAndOrdering) {
+  EXPECT_FALSE(kInvalidLid.valid());
+  EXPECT_TRUE(Lid{1}.valid());
+  EXPECT_LT(Lid{1}, Lid{2});
+  EXPECT_EQ(Lid{7}, Lid{7});
+  EXPECT_EQ(kTopmostUnicastLid.value(), 0xBFFFu);
+  // 49151 usable unicast LIDs — the subnet size bound of §II-B.
+  EXPECT_EQ(kUnicastLidCount, 49151u);
+}
+
+TEST(Lid, Hashable) {
+  std::unordered_set<Lid> set;
+  set.insert(Lid{1});
+  set.insert(Lid{1});
+  set.insert(Lid{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Guid, Validity) {
+  EXPECT_FALSE(kInvalidGuid.valid());
+  EXPECT_TRUE(Guid{0xDEAD}.valid());
+  EXPECT_EQ(Guid{5}, Guid{5});
+}
+
+TEST(Gid, FormedFromPrefixAndGuid) {
+  const Gid gid = make_gid(kDefaultSubnetPrefix, Guid{0x42});
+  EXPECT_TRUE(gid.valid());
+  EXPECT_EQ(gid.prefix, 0xFE80000000000000ULL);
+  EXPECT_EQ(gid.guid.value(), 0x42u);
+  EXPECT_FALSE(make_gid(kDefaultSubnetPrefix, kInvalidGuid).valid());
+}
+
+TEST(Streaming, HumanReadable) {
+  std::ostringstream os;
+  os << Lid{42} << " " << Guid{0xABC} << " "
+     << make_gid(kDefaultSubnetPrefix, Guid{0x1});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("0x0000000000000abc"), std::string::npos);
+  EXPECT_NE(s.find("fe80000000000000"), std::string::npos);
+}
+
+TEST(Constants, DropPortAndBlockSize) {
+  EXPECT_EQ(kLftBlockSize, 64u);
+  EXPECT_EQ(kDropPort, 255);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ibvs {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64, BelowRespectsBound) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(SplitMix64, BetweenInclusive) {
+  SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values appear
+  EXPECT_THROW(rng.between(5, 3), std::invalid_argument);
+}
+
+TEST(SplitMix64, UniformInUnitInterval) {
+  SplitMix64 rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(SplitMix64, ForkIsIndependentStream) {
+  SplitMix64 a(42);
+  SplitMix64 forked = a.fork();
+  // The fork and the parent should not produce identical sequences.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() == forked()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(0, 103, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GT(e, b);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalPoolIsReused) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(w.elapsed().count(), 0);
+  EXPECT_GE(w.elapsed_seconds(), 0.0);
+  EXPECT_GE(w.elapsed_ms(), 0.0);
+  w.reset();
+  EXPECT_LT(w.elapsed_seconds(), 1.0);
+}
+
+TEST(Expect, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(IBVS_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(IBVS_REQUIRE(true, "fine"));
+}
+
+TEST(Expect, EnsureThrowsLogicError) {
+  EXPECT_THROW(IBVS_ENSURE(false, "bug"), std::logic_error);
+  EXPECT_NO_THROW(IBVS_ENSURE(true, "fine"));
+}
+
+TEST(Expect, MessageContainsContext) {
+  try {
+    IBVS_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ibvs
