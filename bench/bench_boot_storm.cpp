@@ -104,8 +104,10 @@ BENCHMARK(BM_BootPathComputation)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   print_boot_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_metrics(metrics_out);
   return 0;
 }

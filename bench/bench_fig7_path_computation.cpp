@@ -163,8 +163,10 @@ BENCHMARK(BM_PathComputation)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   print_fig7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_metrics(metrics_out);
   return 0;
 }

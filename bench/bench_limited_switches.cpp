@@ -129,6 +129,7 @@ BENCHMARK(BM_MinimalSetComputation)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   std::printf(
       "\nFig. 6 — switches updated vs migration distance (3-level "
       "fat-tree: 4 pods, 20 switches)\n\n");
@@ -137,5 +138,6 @@ int main(int argc, char** argv) {
   print_parallel_rounds();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_metrics(metrics_out);
   return 0;
 }

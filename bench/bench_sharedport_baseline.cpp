@@ -167,8 +167,10 @@ BENCHMARK(BM_SharedPortMigration);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_metrics(metrics_out);
   return 0;
 }

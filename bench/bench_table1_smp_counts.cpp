@@ -42,6 +42,16 @@ void print_closed_form() {
 }
 
 void simulate_tree(topology::PaperFatTree which) {
+  // Telemetry is the single source of truth for SMP counts: the registry's
+  // Set(LinearFwdTable) counter must move by exactly the SMPs this sweep
+  // reports (test_telemetry asserts the same invariant).
+  auto& registry = telemetry::Registry::global();
+  const telemetry::Labels lft_labels{{"attribute", "LinearFwdTable"},
+                                     {"method", "Set"},
+                                     {"routing", "directed"}};
+  const std::uint64_t lft_before =
+      registry.counter_value("ibvs_smp_total", lft_labels).value_or(0);
+
   Fabric fabric;
   const auto built = topology::build_paper_fat_tree(fabric, which);
   const auto hosts = topology::attach_hosts(fabric, built.host_slots);
@@ -50,12 +60,20 @@ void simulate_tree(topology::PaperFatTree which) {
                          routing::make_engine(routing::EngineKind::kFatTree));
   const auto sweep = smgr.full_sweep();
   const auto expect = model::table1_row(hosts.size(), fabric.num_switches());
-  std::printf("  %-28s measured full-RC SMPs %8llu   formula %8llu   %s\n",
-              topology::to_string(which).c_str(),
-              static_cast<unsigned long long>(sweep.distribution.smps),
-              static_cast<unsigned long long>(expect.min_smps_full_rc),
-              sweep.distribution.smps == expect.min_smps_full_rc ? "MATCH"
-                                                                 : "DIFFER");
+  const std::uint64_t lft_telemetry =
+      registry.counter_value("ibvs_smp_total", lft_labels).value_or(0) -
+      lft_before;
+  std::printf(
+      "  %-28s measured full-RC SMPs %8llu   formula %8llu   telemetry "
+      "%8llu   %s\n",
+      topology::to_string(which).c_str(),
+      static_cast<unsigned long long>(sweep.distribution.smps),
+      static_cast<unsigned long long>(expect.min_smps_full_rc),
+      static_cast<unsigned long long>(lft_telemetry),
+      sweep.distribution.smps == expect.min_smps_full_rc &&
+              lft_telemetry == sweep.distribution.smps
+          ? "MATCH"
+          : "DIFFER");
 }
 
 void simulate_migration_smps() {
@@ -115,6 +133,7 @@ BENCHMARK(BM_FullSweepDistribution)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   print_closed_form();
   std::printf("Simulation cross-check:\n");
   simulate_tree(topology::PaperFatTree::k324);
@@ -122,5 +141,6 @@ int main(int argc, char** argv) {
   simulate_migration_smps();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_metrics(metrics_out);
   return 0;
 }

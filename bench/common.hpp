@@ -12,16 +12,70 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/virtualizer.hpp"
 #include "core/vswitch.hpp"
 #include "sm/subnet_manager.hpp"
+#include "telemetry/metrics.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/hosts.hpp"
 
 namespace ibvs::bench {
+
+/// Strips `--metrics-out <file>` (or `--metrics-out=<file>`) from argv
+/// before benchmark::Initialize rejects it as unknown. Returns the path.
+inline std::optional<std::string> consume_metrics_out(int& argc,
+                                                      char** argv) {
+  std::optional<std::string> path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--metrics-out=";
+    if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics-out requires a value\n");
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      path = std::string(arg.substr(kPrefix.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Dumps the global registry's JSON snapshot to `path` ("-" for stdout) so
+/// BENCH_*.json trajectories can track SMP counts next to wall-clock time.
+/// No-op when the flag was absent.
+inline void dump_metrics(const std::optional<std::string>& path) {
+  if (!path) return;
+  if (path->empty()) {
+    std::fprintf(stderr, "error: --metrics-out requires a non-empty path\n");
+    return;
+  }
+  const std::string snapshot =
+      telemetry::Registry::global().json_snapshot();
+  if (*path == "-") {
+    std::fputs(snapshot.c_str(), stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(path->c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", path->c_str());
+    return;
+  }
+  std::fputs(snapshot.c_str(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "# metrics snapshot written to %s\n", path->c_str());
+}
 
 inline bool env_flag(const char* name) {
   const char* value = std::getenv(name);

@@ -2,9 +2,41 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/expect.hpp"
+#include "util/log.hpp"
 
 namespace ibvs::core {
+
+namespace {
+
+/// Reconfiguration counters (n' vs n is the paper's headline statistic).
+struct VSwitchMetrics {
+  telemetry::Counter& reconfig_swap;
+  telemetry::Counter& reconfig_copy;
+  telemetry::Counter& switches_updated;
+  telemetry::Counter& switches_skipped;
+  telemetry::Counter& drain_passes;
+
+  static VSwitchMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static VSwitchMetrics m{
+        reg.counter("ibvs_vswitch_reconfig_total", {{"kind", "swap"}},
+                    "Migration reconfigurations by LFT-update kind"),
+        reg.counter("ibvs_vswitch_reconfig_total", {{"kind", "copy"}}),
+        reg.counter("ibvs_vswitch_reconfig_switches_updated_total", {},
+                    "Switches whose LFTs a reconfiguration rewrote (n')"),
+        reg.counter("ibvs_vswitch_reconfig_switches_skipped_total", {},
+                    "Switches a reconfiguration left untouched (n - n')"),
+        reg.counter("ibvs_vswitch_drain_passes_total", {},
+                    "Port-255 drain passes before reconfiguration (§VI-C)"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string to_string(LidScheme scheme) {
   return scheme == LidScheme::kPrepopulated ? "prepopulated-lids"
@@ -24,6 +56,9 @@ VSwitchFabric::VSwitchFabric(sm::SubnetManager& sm,
 
 sm::SweepReport VSwitchFabric::boot() {
   IBVS_REQUIRE(!booted_, "already booted");
+  auto span = telemetry::Tracer::global().span(
+      "vswitch.boot", {{"scheme", to_string(scheme_)},
+                       {"hypervisors", std::to_string(hypervisors_.size())}});
   sm::SweepReport report;
   report.discovery = sm_.discover();
   report.lids_assigned = sm_.assign_lids();
@@ -42,6 +77,10 @@ sm::SweepReport VSwitchFabric::boot() {
   report.path_computation_seconds = sm_.routing_result().compute_seconds;
   report.distribution = sm_.distribute_lfts();
   booted_ = true;
+  IBVS_INFO("vswitch") << "booted " << to_string(scheme_) << ": "
+                       << report.discovery.nodes_found << " nodes, "
+                       << report.lids_assigned << " LIDs, "
+                       << report.distribution.smps << " LFT SMPs";
   return report;
 }
 
@@ -87,6 +126,8 @@ CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
   const VirtualHca& hyp = hypervisors_[h];
   const NodeId vf = hyp.vfs[*vf_idx];
 
+  auto span = telemetry::Tracer::global().span(
+      "vswitch.create_vm", {{"scheme", to_string(scheme_)}});
   CreateReport report;
   Vm vm;
   vm.id = next_vm_id_++;
@@ -128,6 +169,7 @@ CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
   report.vm = VmHandle{vm.id};
   report.lid = vm.lid;
   vms_.emplace(vm.id, vm);
+  span.set_attr("lft_smps", std::to_string(report.lft_smps));
   return report;
 }
 
@@ -163,6 +205,8 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   const auto dst_vf_idx = free_vf_on(dst_hypervisor);
   IBVS_REQUIRE(dst_vf_idx.has_value(), "no free VF on the destination");
 
+  auto span = telemetry::Tracer::global().span(
+      "vswitch.migrate", {{"scheme", to_string(scheme_)}});
   Fabric& fabric = sm_.fabric();
   auto& transport = sm_.transport();
   const std::size_t src_hypervisor = vm.hypervisor;
@@ -287,6 +331,7 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   // Optional drain pass (§VI-C): drop traffic for the VM LID on every
   // switch about to change, one SMP each, before the real update.
   if (options.drain_first && !vm_set.empty()) {
+    VSwitchMetrics::get().drain_passes.inc();
     transport.begin_batch();
     for (routing::SwitchIdx s : vm_set) {
       sm_.update_master_entry(s, vm_lid, kDropPort);
@@ -311,6 +356,25 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   report.reconfig.lft_time_us = transport.end_batch();
   report.reconfig.switches_updated = update_set.size();
   sm_.bump_generation();
+
+  auto& metrics = VSwitchMetrics::get();
+  (scheme_ == LidScheme::kPrepopulated ? metrics.reconfig_swap
+                                       : metrics.reconfig_copy)
+      .inc();
+  metrics.switches_updated.inc(report.reconfig.switches_updated);
+  metrics.switches_skipped.inc(report.reconfig.switches_total -
+                               report.reconfig.switches_updated);
+  span.set_attr("intra_leaf", report.intra_leaf ? "true" : "false");
+  span.set_attr("switches_updated",
+                std::to_string(report.reconfig.switches_updated));
+  span.set_attr("lft_smps", std::to_string(report.reconfig.lft_smps));
+
+  IBVS_DEBUG("vswitch") << "migrated vm " << vm.id << " hyp "
+                        << src_hypervisor << " -> " << dst_hypervisor
+                        << " (" << to_string(scheme_) << "): updated "
+                        << report.reconfig.switches_updated << "/"
+                        << report.reconfig.switches_total << " switches, "
+                        << report.reconfig.lft_smps << " LFT SMPs";
 
   // ---- Bookkeeping: reattach on the destination. ----
   slots_[src_hypervisor][vm.vf_index].vm = 0;

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/expect.hpp"
 
 namespace ibvs::fabric {
@@ -204,8 +206,39 @@ CreditSimReport simulate_flows(const Fabric& fabric,
                                const CreditSimConfig& config) {
   IBVS_REQUIRE(config.credits_per_channel > 0, "need at least one credit");
   IBVS_REQUIRE(config.num_vls >= 1, "need at least one VL");
+  auto span = telemetry::Tracer::global().span(
+      "creditsim.run", {{"flows", std::to_string(flows.size())}});
   Simulator sim(fabric, config);
-  return sim.run(flows);
+  const CreditSimReport report = sim.run(flows);
+
+  auto& reg = telemetry::Registry::global();
+  static telemetry::Counter& injected =
+      reg.counter("ibvs_creditsim_packets_total", {{"outcome", "injected"}},
+                  "Credit-simulator packets by final outcome");
+  static telemetry::Counter& delivered =
+      reg.counter("ibvs_creditsim_packets_total", {{"outcome", "delivered"}});
+  static telemetry::Counter& dropped_timeout = reg.counter(
+      "ibvs_creditsim_packets_total", {{"outcome", "dropped_timeout"}});
+  static telemetry::Counter& dropped_unrouted = reg.counter(
+      "ibvs_creditsim_packets_total", {{"outcome", "dropped_unrouted"}});
+  static telemetry::Counter& deadlocks = reg.counter(
+      "ibvs_creditsim_deadlocks_total", {},
+      "Runs that wedged with timeouts disabled");
+  static telemetry::Gauge& stuck = reg.gauge(
+      "ibvs_creditsim_stuck_packets", {},
+      "Packets still in-network when the last run ended (credit stalls)");
+  static telemetry::Gauge& steps = reg.gauge(
+      "ibvs_creditsim_last_steps", {}, "Steps the last run took to settle");
+  injected.inc(report.injected);
+  delivered.inc(report.delivered);
+  dropped_timeout.inc(report.dropped_timeout);
+  dropped_unrouted.inc(report.dropped_unrouted);
+  if (report.deadlocked) deadlocks.inc();
+  stuck.set(static_cast<double>(report.stuck));
+  steps.set(static_cast<double>(report.steps));
+  span.set_attr("steps", std::to_string(report.steps));
+  span.set_attr("deadlocked", report.deadlocked ? "true" : "false");
+  return report;
 }
 
 }  // namespace ibvs::fabric

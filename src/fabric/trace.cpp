@@ -8,6 +8,9 @@
 namespace ibvs::fabric {
 
 std::string to_string(TraceStatus status) {
+  // Exhaustive switch: -Wswitch flags any enumerator added without a name
+  // here (test_trace covers every one). Out-of-range values (bad casts)
+  // fall through to an explicit, greppable spelling instead of "?".
   switch (status) {
     case TraceStatus::kDelivered:
       return "delivered";
@@ -20,7 +23,8 @@ std::string to_string(TraceStatus status) {
     case TraceStatus::kWrongDelivery:
       return "wrong-delivery";
   }
-  return "?";
+  return "invalid-trace-status(" + std::to_string(static_cast<int>(status)) +
+         ")";
 }
 
 namespace {

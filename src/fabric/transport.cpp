@@ -9,6 +9,25 @@ namespace ibvs::fabric {
 SmpTransport::SmpTransport(Fabric& fabric, NodeId sm_node, TimingModel timing)
     : fabric_(fabric), sm_node_(sm_node), timing_(timing) {}
 
+telemetry::Counter& SmpTransport::smp_counter(const Smp& smp) {
+  const std::size_t idx =
+      (static_cast<std::size_t>(smp.attribute) * 2 +
+       (smp.method == SmpMethod::kSet ? 1 : 0)) *
+          2 +
+      (smp.routing == SmpRouting::kLidRouted ? 1 : 0);
+  telemetry::Counter*& slot = smp_counters_[idx];
+  if (slot == nullptr) {
+    slot = &telemetry::Registry::global().counter(
+        "ibvs_smp_total",
+        {{"attribute", to_string(smp.attribute)},
+         {"method", smp.method == SmpMethod::kSet ? "Set" : "Get"},
+         {"routing",
+          smp.routing == SmpRouting::kDirected ? "directed" : "lid"}},
+        "SMPs sent by the SM, by attribute/method/routing");
+  }
+  return *slot;
+}
+
 void SmpTransport::recompute_hops() {
   hops_cache_.assign(fabric_.size(), ~0u);
   std::vector<NodeId> queue;
@@ -39,12 +58,28 @@ std::optional<std::size_t> SmpTransport::hops_to(NodeId target) {
 SendOutcome SmpTransport::account(const Smp& smp,
                                   std::optional<std::size_t> hops) {
   counters_.record(smp);
+  smp_counter(smp).inc();
   SendOutcome outcome;
-  if (!hops) return outcome;  // undeliverable: counted, zero progress
+  if (!hops) {  // undeliverable: counted, zero progress
+    if (undeliverable_counter_ == nullptr) {
+      undeliverable_counter_ = &telemetry::Registry::global().counter(
+          "ibvs_smp_undeliverable_total", {},
+          "SMPs addressed to nodes the SM cannot reach");
+    }
+    undeliverable_counter_->inc();
+    return outcome;
+  }
   outcome.delivered = true;
   outcome.hops = *hops;
   outcome.latency_us =
       timing_.smp_latency_us(*hops, smp.routing == SmpRouting::kDirected);
+  if (latency_histogram_ == nullptr) {
+    latency_histogram_ = &telemetry::Registry::global().histogram(
+        "ibvs_smp_latency_us", {},
+        telemetry::HistogramOptions{.min_bound = 0.0625, .num_buckets = 24},
+        "Simulated per-SMP latency under the timing model");
+  }
+  latency_histogram_->observe(outcome.latency_us);
 
   if (in_batch_) {
     // Window of `pipeline_depth` outstanding SMPs: a new SMP is issued

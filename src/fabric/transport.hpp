@@ -8,6 +8,7 @@
 // has distributed — including the transient states mid-reconfiguration.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -16,6 +17,7 @@
 #include "fabric/timing.hpp"
 #include "ib/fabric.hpp"
 #include "ib/smp.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ibvs::fabric {
 
@@ -91,12 +93,22 @@ class SmpTransport {
  private:
   SendOutcome account(const Smp& smp, std::optional<std::size_t> hops);
   void recompute_hops();
+  /// Registry counter for this SMP shape, resolved once per (attribute,
+  /// method, routing) combination and cached — account() stays lock-free
+  /// after the first SMP of each shape.
+  telemetry::Counter& smp_counter(const Smp& smp);
 
   Fabric& fabric_;
   NodeId sm_node_;
   TimingModel timing_;
   SmpCounters counters_;
   double total_us_ = 0.0;
+
+  /// Cache indexed by (attribute, method, routing); see smp_counter().
+  static constexpr std::size_t kNumAttributes = 7;
+  std::array<telemetry::Counter*, kNumAttributes * 2 * 2> smp_counters_{};
+  telemetry::Counter* undeliverable_counter_ = nullptr;
+  telemetry::Histogram* latency_histogram_ = nullptr;
 
   // Hop cache (BFS from the SM node over all cabled nodes).
   std::vector<std::uint32_t> hops_cache_;

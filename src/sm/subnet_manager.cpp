@@ -2,9 +2,50 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/expect.hpp"
+#include "util/log.hpp"
 
 namespace ibvs::sm {
+
+namespace {
+
+/// Sweep-phase counters, resolved once per process.
+struct SweepMetrics {
+  telemetry::Counter& sweeps;
+  telemetry::Counter& discoveries;
+  telemetry::Counter& lids_assigned;
+  telemetry::Counter& route_computations;
+  telemetry::Counter& blocks_sent;
+  telemetry::Counter& blocks_skipped;
+  telemetry::Gauge& last_pct_seconds;
+  telemetry::Gauge& last_lftdt_us;
+
+  static SweepMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static SweepMetrics m{
+        reg.counter("ibvs_sm_sweeps_total", {}, "Full sweeps run"),
+        reg.counter("ibvs_sm_discoveries_total", {},
+                    "Directed-route discovery passes"),
+        reg.counter("ibvs_sm_lids_assigned_total", {},
+                    "LIDs newly assigned by the SM"),
+        reg.counter("ibvs_sm_route_computations_total", {},
+                    "Routing-engine runs (the PCt the paper eliminates)"),
+        reg.counter("ibvs_sm_lft_blocks_sent_total", {},
+                    "LFT blocks distributed because they differed"),
+        reg.counter("ibvs_sm_lft_blocks_skipped_total", {},
+                    "LFT blocks skipped because the switch was up to date"),
+        reg.gauge("ibvs_sm_last_pct_seconds", {},
+                  "Path-computation time of the last routing run"),
+        reg.gauge("ibvs_sm_last_lftdt_us", {},
+                  "Batch makespan of the last LFT distribution"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 SubnetManager::SubnetManager(Fabric& fabric, NodeId sm_host,
                              std::unique_ptr<routing::RoutingEngine> engine,
@@ -23,6 +64,8 @@ void SubnetManager::set_engine(
 
 DiscoveryReport SubnetManager::discover() {
   DiscoveryReport report;
+  auto span = telemetry::Tracer::global().span("sm.discovery");
+  SweepMetrics::get().discoveries.inc();
   const std::uint64_t smps_before = transport_.counters().total;
   // Directed-route BFS from the SM host: each node costs one Get(NodeInfo)
   // (plus Get(SwitchInfo) for switches), each connected port one
@@ -57,6 +100,8 @@ DiscoveryReport SubnetManager::discover() {
     }
   }
   report.smps = transport_.counters().total - smps_before;
+  span.set_attr("nodes", std::to_string(report.nodes_found));
+  span.set_attr("smps", std::to_string(report.smps));
   return report;
 }
 
@@ -95,6 +140,7 @@ std::size_t SubnetManager::adopt_lids() {
 }
 
 std::size_t SubnetManager::assign_lids() {
+  auto span = telemetry::Tracer::global().span("sm.lid_assignment");
   adopt_lids();
   std::size_t assigned = 0;
   for (NodeId id = 0; id < fabric_.size(); ++id) {
@@ -129,19 +175,27 @@ std::size_t SubnetManager::assign_lids() {
       }
     }
   }
+  SweepMetrics::get().lids_assigned.inc(assigned);
+  span.set_attr("assigned", std::to_string(assigned));
   return assigned;
 }
 
 const routing::RoutingResult& SubnetManager::compute_routes() {
+  auto span = telemetry::Tracer::global().span(
+      "sm.path_computation", {{"engine", std::string(engine_->name())}});
   routing_ = engine_->compute(fabric_, lids_);
   routing_ready_ = true;
   ++generation_;
+  auto& metrics = SweepMetrics::get();
+  metrics.route_computations.inc();
+  metrics.last_pct_seconds.set(routing_.compute_seconds);
   return routing_;
 }
 
 DistributionReport SubnetManager::distribute_lfts(SmpRouting routing) {
   IBVS_REQUIRE(routing_ready_, "compute_routes() must run first");
   DistributionReport report;
+  auto span = telemetry::Tracer::global().span("sm.lft_distribution");
   transport_.begin_batch();
   const auto& g = routing_.graph;
   for (routing::SwitchIdx s = 0; s < g.num_switches(); ++s) {
@@ -162,16 +216,32 @@ DistributionReport SubnetManager::distribute_lfts(SmpRouting routing) {
     if (touched) ++report.switches_touched;
   }
   report.time_us = transport_.end_batch();
+  auto& metrics = SweepMetrics::get();
+  metrics.blocks_sent.inc(report.smps);
+  metrics.blocks_skipped.inc(report.blocks_skipped);
+  metrics.last_lftdt_us.set(report.time_us);
+  span.set_attr("blocks_sent", std::to_string(report.smps));
+  span.set_attr("blocks_skipped", std::to_string(report.blocks_skipped));
+  span.set_attr("switches_touched",
+                std::to_string(report.switches_touched));
   return report;
 }
 
 SweepReport SubnetManager::full_sweep() {
+  auto span = telemetry::Tracer::global().span("sm.sweep");
+  SweepMetrics::get().sweeps.inc();
   SweepReport report;
   report.discovery = discover();
   report.lids_assigned = assign_lids();
   compute_routes();
   report.path_computation_seconds = routing_.compute_seconds;
   report.distribution = distribute_lfts();
+  span.set_attr("reconfig_time_us",
+                std::to_string(report.reconfiguration_time_us()));
+  IBVS_INFO("sm") << "sweep done: " << report.discovery.nodes_found
+                  << " nodes, " << report.lids_assigned << " LIDs, "
+                  << report.distribution.smps << " LFT SMPs, PCt="
+                  << report.path_computation_seconds * 1e3 << " ms";
   return report;
 }
 

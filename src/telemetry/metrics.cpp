@@ -1,0 +1,354 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace ibvs::telemetry {
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Doubles rendered the shortest way that round-trips (%.17g is exact but
+/// ugly; %g at 15 digits matches for every value the registry produces).
+std::string format_double(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  return buf;
+}
+
+std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += json_escape(value);  // same escapes Prometheus wants
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- Histogram ---
+
+Histogram::Histogram(HistogramOptions options) {
+  IBVS_REQUIRE(options.min_bound > 0.0, "min_bound must be positive");
+  IBVS_REQUIRE(options.num_buckets >= 1, "need at least one bucket");
+  bounds_.resize(options.num_buckets);
+  double bound = options.min_bound;
+  for (auto& b : bounds_) {
+    b = bound;
+    bound *= 2.0;
+  }
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const {
+  IBVS_REQUIRE(i <= bounds_.size(), "bucket index out of range");
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i; ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Registry ---
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Family& Registry::family(std::string_view name, Kind kind,
+                                   std::string_view help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.kind = kind;
+    it->second.help = std::string(help);
+  }
+  IBVS_REQUIRE(it->second.kind == kind,
+               "metric family registered with a different kind");
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels,
+                           std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, Kind::kCounter, help);
+  auto& slot = fam.counters[canonical(std::move(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels,
+                       std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, Kind::kGauge, help);
+  auto& slot = fam.gauges[canonical(std::move(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels,
+                               HistogramOptions options,
+                               std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, Kind::kHistogram, help);
+  if (fam.histograms.empty()) fam.histogram_options = options;
+  auto& slot = fam.histograms[canonical(std::move(labels))];
+  if (!slot) slot = std::make_unique<Histogram>(fam.histogram_options);
+  return *slot;
+}
+
+std::optional<std::uint64_t> Registry::counter_value(
+    std::string_view name, const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto fam = families_.find(name);
+  if (fam == families_.end() || fam->second.kind != Kind::kCounter) {
+    return std::nullopt;
+  }
+  const auto child = fam->second.counters.find(canonical(labels));
+  if (child == fam->second.counters.end()) return std::nullopt;
+  return child->second->value();
+}
+
+std::optional<double> Registry::gauge_value(std::string_view name,
+                                            const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto fam = families_.find(name);
+  if (fam == families_.end() || fam->second.kind != Kind::kGauge) {
+    return std::nullopt;
+  }
+  const auto child = fam->second.gauges.find(canonical(labels));
+  if (child == fam->second.gauges.end()) return std::nullopt;
+  return child->second->value();
+}
+
+std::uint64_t Registry::counter_family_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto fam = families_.find(name);
+  if (fam == families_.end() || fam->second.kind != Kind::kCounter) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [labels, counter] : fam->second.counters) {
+    total += counter->value();
+  }
+  return total;
+}
+
+std::vector<MetricSample> Registry::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [labels, counter] : fam.counters) {
+      out.push_back({name, labels,
+                     static_cast<double>(counter->value()), nullptr});
+    }
+    for (const auto& [labels, gauge] : fam.gauges) {
+      out.push_back({name, labels, gauge->value(), nullptr});
+    }
+    for (const auto& [labels, histogram] : fam.histograms) {
+      out.push_back({name, labels, 0.0, histogram.get()});
+    }
+  }
+  return out;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    switch (fam.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        for (const auto& [labels, counter] : fam.counters) {
+          os << name << prometheus_labels(labels) << " " << counter->value()
+             << "\n";
+        }
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        for (const auto& [labels, gauge] : fam.gauges) {
+          os << name << prometheus_labels(labels) << " "
+             << format_double(gauge->value()) << "\n";
+        }
+        break;
+      case Kind::kHistogram:
+        os << "# TYPE " << name << " histogram\n";
+        for (const auto& [labels, histogram] : fam.histograms) {
+          const auto& bounds = histogram->bounds();
+          for (std::size_t b = 0; b < bounds.size(); ++b) {
+            Labels with_le = labels;
+            with_le.emplace_back("le", format_double(bounds[b]));
+            os << name << "_bucket" << prometheus_labels(with_le) << " "
+               << histogram->cumulative(b) << "\n";
+          }
+          Labels with_inf = labels;
+          with_inf.emplace_back("le", "+Inf");
+          os << name << "_bucket" << prometheus_labels(with_inf) << " "
+             << histogram->count() << "\n";
+          os << name << "_sum" << prometheus_labels(labels) << " "
+             << format_double(histogram->sum()) << "\n";
+          os << name << "_count" << prometheus_labels(labels) << " "
+             << histogram->count() << "\n";
+        }
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string Registry::json_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_c = true;
+  bool first_g = true;
+  bool first_h = true;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [labels, counter] : fam.counters) {
+      if (!first_c) counters << ",";
+      first_c = false;
+      counters << "\n    {\"name\":\"" << json_escape(name)
+               << "\",\"labels\":" << json_labels(labels)
+               << ",\"value\":" << counter->value() << "}";
+    }
+    for (const auto& [labels, gauge] : fam.gauges) {
+      if (!first_g) gauges << ",";
+      first_g = false;
+      gauges << "\n    {\"name\":\"" << json_escape(name)
+             << "\",\"labels\":" << json_labels(labels)
+             << ",\"value\":" << format_double(gauge->value()) << "}";
+    }
+    for (const auto& [labels, histogram] : fam.histograms) {
+      if (!first_h) histograms << ",";
+      first_h = false;
+      histograms << "\n    {\"name\":\"" << json_escape(name)
+                 << "\",\"labels\":" << json_labels(labels)
+                 << ",\"count\":" << histogram->count()
+                 << ",\"sum\":" << format_double(histogram->sum())
+                 << ",\"buckets\":[";
+      const auto& bounds = histogram->bounds();
+      std::uint64_t prev_cumulative = 0;
+      bool first_b = true;
+      for (std::size_t b = 0; b <= bounds.size(); ++b) {
+        // Sparse export: only buckets with observations.
+        const std::uint64_t cumulative =
+            b < bounds.size() ? histogram->cumulative(b) : histogram->count();
+        const std::uint64_t in_bucket = cumulative - prev_cumulative;
+        prev_cumulative = cumulative;
+        if (in_bucket == 0) continue;
+        if (!first_b) histograms << ",";
+        first_b = false;
+        histograms << "{\"le\":"
+                   << (b < bounds.size()
+                           ? format_double(bounds[b])
+                           : std::string("\"+Inf\""))
+                   << ",\"count\":" << in_bucket << "}";
+      }
+      histograms << "]}";
+    }
+  }
+  std::ostringstream os;
+  os << "{\n  \"counters\": [" << counters.str() << "\n  ],\n"
+     << "  \"gauges\": [" << gauges.str() << "\n  ],\n"
+     << "  \"histograms\": [" << histograms.str() << "\n  ]\n}\n";
+  return os.str();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [labels, counter] : fam.counters) counter->reset();
+    for (auto& [labels, gauge] : fam.gauges) gauge->reset();
+    for (auto& [labels, histogram] : fam.histograms) histogram->reset();
+  }
+}
+
+}  // namespace ibvs::telemetry

@@ -1,0 +1,206 @@
+// Fabric-wide metrics registry.
+//
+// The paper's evaluation is built on counting and timing management traffic
+// (SMPs per reconfiguration, PCt/LFTDt decomposition); this registry makes
+// those numbers first-class so every layer reports into one place instead of
+// ad-hoc per-call report structs. Three metric kinds:
+//
+//   Counter   — monotone u64, relaxed atomic increments on hot paths
+//   Gauge     — last-written double (set/add), also atomic
+//   Histogram — fixed log-scale buckets (powers of two from `min_bound`),
+//               atomic per-bucket counts plus sum/count
+//
+// Metrics live in *families* keyed by name; a family fans out into children
+// keyed by a small ordered label set ({attribute="PortInfo", routing="DR"}).
+// Lookup (counter()/gauge()/histogram()) takes a mutex and is meant for
+// setup; hot paths cache the returned reference — children are never
+// deleted, so references stay valid for the registry's lifetime.
+//
+// The whole registry can be switched off (Registry::set_enabled(false)):
+// increments reduce to one relaxed atomic load and a predictable branch, so
+// benches that must not observe the observer stay unperturbed.
+//
+// Export: Prometheus text exposition (prometheus_text) and a JSON snapshot
+// (json_snapshot) consumed by the benches' --metrics-out flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ibvs::telemetry {
+
+/// Ordered key=value labels identifying one child within a family. Kept
+/// sorted by key so {a=1,b=2} and {b=2,a=1} address the same child.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+/// Process-wide on/off switch shared by all metric instances.
+inline std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  /// Upper bound of the first bucket; each next bound doubles.
+  double min_bound = 1e-6;
+  /// Number of finite buckets (a +Inf overflow bucket is implicit).
+  std::size_t num_buckets = 40;
+};
+
+/// Fixed log-scale histogram: bucket b covers (min_bound*2^(b-1),
+/// min_bound*2^b]; values beyond the last bound land in the overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Finite bucket upper bounds (overflow excluded).
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Cumulative count of observations <= bounds()[i]; index bounds().size()
+  /// is the total (the +Inf bucket).
+  [[nodiscard]] std::uint64_t cumulative(std::size_t i) const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported metric in a snapshot (flattened family child).
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;                  ///< counter/gauge
+  const Histogram* histogram = nullptr;  ///< set for histograms only
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the library layers report into.
+  static Registry& global();
+
+  /// Turns every Counter/Gauge/Histogram write in the process into a no-op.
+  static void set_enabled(bool enabled) noexcept {
+    detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() noexcept {
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the child; the reference stays valid for the
+  /// registry's lifetime. `help` is recorded on first use of the name.
+  Counter& counter(std::string_view name, Labels labels = {},
+                   std::string_view help = {});
+  Gauge& gauge(std::string_view name, Labels labels = {},
+               std::string_view help = {});
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       HistogramOptions options = {},
+                       std::string_view help = {});
+
+  /// Point-in-time value of one child, if it exists.
+  [[nodiscard]] std::optional<std::uint64_t> counter_value(
+      std::string_view name, const Labels& labels = {}) const;
+  [[nodiscard]] std::optional<double> gauge_value(
+      std::string_view name, const Labels& labels = {}) const;
+
+  /// Sum of every child of a counter family (all label combinations).
+  [[nodiscard]] std::uint64_t counter_family_total(
+      std::string_view name) const;
+
+  /// All current samples, family by family, children in label order.
+  [[nodiscard]] std::vector<MetricSample> samples() const;
+
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// JSON snapshot: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]} — the payload of the benches' --metrics-out.
+  [[nodiscard]] std::string json_snapshot() const;
+
+  /// Zeroes every value, keeping families and children (and therefore all
+  /// cached references) alive. For tests and benches that diff runs.
+  void reset_values();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    HistogramOptions histogram_options;
+    // Children keyed by the canonical (sorted) label set. Values are stable
+    // heap objects: hot paths hold references across rehashes.
+    std::map<Labels, std::unique_ptr<Counter>> counters;
+    std::map<Labels, std::unique_ptr<Gauge>> gauges;
+    std::map<Labels, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family& family(std::string_view name, Kind kind, std::string_view help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Escapes `\`, `"` and control characters for JSON string literals (shared
+/// with the span tracer's JSON-lines export).
+std::string json_escape(std::string_view raw);
+
+}  // namespace ibvs::telemetry

@@ -4,11 +4,18 @@
 // benchmark loops, so logging is cheap when disabled: the level check is a
 // single relaxed atomic load and message formatting is lazy (stream built
 // only when the record is emitted).
+//
+// The initial level comes from the IBVS_LOG_LEVEL environment variable
+// (trace/debug/info/warn/error/off, case-insensitive), read on the first
+// level query; set_level() overrides it at any time. Emitted records carry a
+// monotonic seconds-since-start timestamp and a small per-thread ordinal so
+// interleaved thread-pool output stays attributable.
 #pragma once
 
 #include <atomic>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -31,17 +38,32 @@ class Log {
     level_.store(static_cast<int>(level), std::memory_order_relaxed);
   }
   static LogLevel level() noexcept {
-    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+    return static_cast<LogLevel>(current_level());
   }
   static bool enabled(LogLevel level) noexcept {
-    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+    return static_cast<int>(level) >= current_level();
   }
+
+  /// Parses a level name ("trace".."error", "off"), case-insensitive.
+  static std::optional<LogLevel> parse_level(std::string_view text) noexcept;
+
+  /// Re-reads IBVS_LOG_LEVEL (falling back to the kWarn default). Normally
+  /// implicit on first use; exposed so tests can exercise the env path.
+  static void reload_env() noexcept;
 
   /// Emits one record; serializes concurrent writers.
   static void emit(LogLevel level, std::string_view component,
                    std::string_view message);
 
  private:
+  static int current_level() noexcept {
+    const int v = level_.load(std::memory_order_relaxed);
+    return v == kUninitialized ? init_from_env() : v;
+  }
+  /// Slow path: applies IBVS_LOG_LEVEL (or the default) and returns it.
+  static int init_from_env() noexcept;
+
+  static constexpr int kUninitialized = -1;
   static std::atomic<int> level_;
 };
 

@@ -147,9 +147,18 @@ TEST(TraceErrors, RequiresCaSourceAndValidLid) {
                std::invalid_argument);
 }
 
-TEST(TraceStatusNames, Strings) {
+TEST(TraceStatusNames, EveryEnumeratorHasAName) {
   EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kDelivered), "delivered");
+  EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kDropped), "dropped");
   EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kLoop), "loop");
+  EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kNoRoute), "no-route");
+  EXPECT_EQ(fabric::to_string(fabric::TraceStatus::kWrongDelivery),
+            "wrong-delivery");
+}
+
+TEST(TraceStatusNames, OutOfRangeValueIsGreppable) {
+  EXPECT_EQ(fabric::to_string(static_cast<fabric::TraceStatus>(99)),
+            "invalid-trace-status(99)");
 }
 
 }  // namespace
