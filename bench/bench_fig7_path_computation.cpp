@@ -164,9 +164,11 @@ BENCHMARK(BM_PathComputation)
 
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
+  const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
   print_fig7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   ibvs::bench::dump_metrics(metrics_out);
+  ibvs::bench::dump_trace(trace_out);
   return 0;
 }

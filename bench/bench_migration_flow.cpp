@@ -121,10 +121,12 @@ BENCHMARK(BM_SaCachedResolve);
 
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
+  const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
   print_flow();
   print_sa_cache_effect();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   ibvs::bench::dump_metrics(metrics_out);
+  ibvs::bench::dump_trace(trace_out);
   return 0;
 }

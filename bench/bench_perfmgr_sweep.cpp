@@ -1,0 +1,94 @@
+// PerfMgr polling cost vs fabric size.
+//
+// A PerfMgr sweep issues Get(PortCounters) [+ Get(PortCountersExtended)] per
+// connected port on the same transport the SM uses, so the monitoring bill
+// scales with ports, not nodes. Two parts:
+//  1. A table across the paper's fat-tree topologies: ports polled, MADs per
+//     sweep (classic-only vs +extended), and the modeled batch makespan —
+//     i.e. what continuous monitoring costs the management plane.
+//  2. Google-benchmark timers for the sweep itself on the 324-node tree.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "perf/health.hpp"
+#include "perf/perf_mgr.hpp"
+
+namespace {
+
+using namespace ibvs;
+
+struct SweepSetup {
+  Fabric fabric;
+  std::unique_ptr<sm::SubnetManager> sm;
+
+  static SweepSetup make(topology::PaperFatTree which) {
+    SweepSetup s;
+    const auto built = topology::build_paper_fat_tree(s.fabric, which);
+    const auto hosts = topology::attach_hosts(s.fabric, built.host_slots);
+    s.sm = std::make_unique<sm::SubnetManager>(
+        s.fabric, hosts[0],
+        routing::make_engine(routing::EngineKind::kFatTree));
+    s.sm->full_sweep();
+    return s;
+  }
+};
+
+void print_polling_cost() {
+  std::printf("\nPerfMgr polling cost per sweep (all connected ports)\n");
+  std::printf("%-14s %8s %10s %12s %12s %14s\n", "Topology", "Ports",
+              "MADs", "MADs+ext", "makespan us", "makespan+ext");
+  bench::rule(76);
+  for (const auto which : bench::selected_paper_trees()) {
+    auto setup = SweepSetup::make(which);
+    perf::PerfMgr classic(*setup.sm,
+                          perf::PerfMgrConfig{.poll_extended = false});
+    const auto classic_sweep = classic.sweep();
+    perf::PerfMgr extended(*setup.sm,
+                           perf::PerfMgrConfig{.poll_extended = true});
+    const auto extended_sweep = extended.sweep();
+    std::printf("%-14s %8zu %10llu %12llu %12.1f %14.1f\n",
+                topology::to_string(which).c_str(),
+                classic_sweep.ports_polled,
+                static_cast<unsigned long long>(classic_sweep.mads),
+                static_cast<unsigned long long>(extended_sweep.mads),
+                classic_sweep.time_us, extended_sweep.time_us);
+  }
+  bench::rule(76);
+  std::printf(
+      "MADs land in ibvs_smp_total{attribute=PortCounters*}; polling is "
+      "visible management traffic.\n\n");
+}
+
+void BM_PerfMgrSweep(benchmark::State& state) {
+  auto setup = SweepSetup::make(topology::PaperFatTree::k324);
+  perf::PerfMgr pmgr(*setup.sm);
+  for (auto _ : state) {
+    auto report = pmgr.sweep();
+    benchmark::DoNotOptimize(report.ports_polled);
+  }
+}
+BENCHMARK(BM_PerfMgrSweep)->Unit(benchmark::kMillisecond);
+
+void BM_PerfMgrSweepAndAnalyze(benchmark::State& state) {
+  auto setup = SweepSetup::make(topology::PaperFatTree::k324);
+  perf::PerfMgr pmgr(*setup.sm);
+  perf::HealthMonitor monitor;
+  for (auto _ : state) {
+    auto health = monitor.analyze(pmgr.sweep());
+    benchmark::DoNotOptimize(health.ok);
+  }
+}
+BENCHMARK(BM_PerfMgrSweepAndAnalyze)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
+  const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  print_polling_cost();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_metrics(metrics_out);
+  ibvs::bench::dump_trace(trace_out);
+  return 0;
+}

@@ -134,6 +134,7 @@ BENCHMARK(BM_FullSweepDistribution)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
+  const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
   print_closed_form();
   std::printf("Simulation cross-check:\n");
   simulate_tree(topology::PaperFatTree::k324);
@@ -142,5 +143,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   ibvs::bench::dump_metrics(metrics_out);
+  ibvs::bench::dump_trace(trace_out);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,35 +22,48 @@
 #include "core/vswitch.hpp"
 #include "sm/subnet_manager.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/hosts.hpp"
 
 namespace ibvs::bench {
 
-/// Strips `--metrics-out <file>` (or `--metrics-out=<file>`) from argv
-/// before benchmark::Initialize rejects it as unknown. Returns the path.
-inline std::optional<std::string> consume_metrics_out(int& argc,
-                                                      char** argv) {
-  std::optional<std::string> path;
+/// Strips `<flag> <value>` (or `<flag>=<value>`) from argv before
+/// benchmark::Initialize rejects it as unknown. Returns the value.
+inline std::optional<std::string> consume_flag_value(int& argc, char** argv,
+                                                     std::string_view flag) {
+  std::optional<std::string> value;
+  const std::string prefix = std::string(flag) + "=";
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    constexpr std::string_view kPrefix = "--metrics-out=";
-    if (arg == "--metrics-out") {
+    if (arg == flag) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --metrics-out requires a value\n");
+        std::fprintf(stderr, "error: %s requires a value\n",
+                     std::string(flag).c_str());
         std::exit(2);
       }
-      path = argv[++i];
-    } else if (arg.substr(0, kPrefix.size()) == kPrefix) {
-      path = std::string(arg.substr(kPrefix.size()));
+      value = argv[++i];
+    } else if (arg.substr(0, prefix.size()) == prefix) {
+      value = std::string(arg.substr(prefix.size()));
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
   argv[argc] = nullptr;
-  return path;
+  return value;
+}
+
+/// `--metrics-out <file>`: where to dump the registry JSON snapshot.
+inline std::optional<std::string> consume_metrics_out(int& argc,
+                                                      char** argv) {
+  return consume_flag_value(argc, argv, "--metrics-out");
+}
+
+/// `--trace-out <file>`: where to dump the span trace as JSON lines.
+inline std::optional<std::string> consume_trace_out(int& argc, char** argv) {
+  return consume_flag_value(argc, argv, "--trace-out");
 }
 
 /// Dumps the global registry's JSON snapshot to `path` ("-" for stdout) so
@@ -75,6 +89,28 @@ inline void dump_metrics(const std::optional<std::string>& path) {
   std::fputs(snapshot.c_str(), file);
   std::fclose(file);
   std::fprintf(stderr, "# metrics snapshot written to %s\n", path->c_str());
+}
+
+/// Dumps the global tracer's buffered spans as JSON lines to `path` ("-"
+/// for stdout). No-op when the flag was absent.
+inline void dump_trace(const std::optional<std::string>& path) {
+  if (!path) return;
+  if (path->empty()) {
+    std::fprintf(stderr, "error: --trace-out requires a non-empty path\n");
+    return;
+  }
+  auto& tracer = telemetry::Tracer::global();
+  if (*path == "-") {
+    std::ostringstream os;
+    tracer.dump_jsonl(os);
+    std::fputs(os.str().c_str(), stdout);
+    return;
+  }
+  if (!tracer.flush_to_file(*path)) {
+    std::fprintf(stderr, "no spans to write to %s\n", path->c_str());
+    return;
+  }
+  std::fprintf(stderr, "# span trace written to %s\n", path->c_str());
 }
 
 inline bool env_flag(const char* name) {

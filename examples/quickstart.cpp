@@ -3,6 +3,7 @@
 //
 //   $ ./examples/quickstart
 //   $ ./examples/quickstart --metrics   # also dump the telemetry registry
+//   $ ./examples/quickstart --health    # PerfMgr sweep + fabric health report
 //
 // This walks the library's main concepts in ~80 lines:
 //   Fabric + topology builders  -> the physical subnet
@@ -19,6 +20,8 @@
 #include "core/virtualizer.hpp"
 #include "core/vswitch.hpp"
 #include "fabric/trace.hpp"
+#include "perf/health.hpp"
+#include "perf/perf_mgr.hpp"
 #include "sm/subnet_manager.hpp"
 #include "telemetry/metrics.hpp"
 #include "topology/fat_tree.hpp"
@@ -27,8 +30,10 @@ using namespace ibvs;
 
 int main(int argc, char** argv) {
   bool show_metrics = false;
+  bool show_health = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) show_metrics = true;
+    if (std::strcmp(argv[i], "--health") == 0) show_health = true;
   }
   // 1. A small 2-level fat-tree: 4 leaves x 2 spines, 3 host slots each.
   Fabric fabric;
@@ -95,11 +100,31 @@ int main(int argc, char** argv) {
   std::printf("vm2 -> vm1 after migration: %s in %zu hops\n",
               fabric::to_string(trace.status).c_str(), trace.hops);
 
-  // 10. Everything above also updated the process-wide telemetry registry:
+  // 10. --health: the PerfMgr polls every port's PMA counters (more MAD
+  //     traffic, visible in the telemetry), and the health monitor turns
+  //     the per-sweep deltas into an ibdiagnet-style verdict. A degrading
+  //     cable is injected so the report has something to find.
+  bool health_ok = true;
+  if (show_health) {
+    perf::PerfMgr pmgr(smgr);
+    perf::HealthMonitor monitor;
+    pmgr.sweep();  // baseline: the next sweep reports per-interval deltas
+    fabric.node(hyps[0].leaf)
+        .ports[hyps[0].leaf_port]
+        .counters.add_symbol_errors(12);  // the injected bad link
+    const auto health = monitor.analyze(pmgr.sweep());
+    std::printf("\n%s", perf::render_fabric_health(health, fabric).c_str());
+    perf::apply_to_sm(smgr, health);
+    std::printf("sm flagged %zu degraded port(s)\n",
+                smgr.degraded_ports().size());
+    health_ok = !health.findings.empty() && !smgr.degraded_ports().empty();
+  }
+
+  // 11. Everything above also updated the process-wide telemetry registry:
   //     SMPs by {attribute, method, routing}, sweep phases, reconfig kinds.
   if (show_metrics) {
     std::printf("\n--- telemetry (Prometheus exposition) ---\n%s",
                 telemetry::Registry::global().prometheus_text().c_str());
   }
-  return trace.delivered() ? 0 : 1;
+  return trace.delivered() && health_ok ? 0 : 1;
 }

@@ -98,6 +98,19 @@ MigrationFlowReport CloudOrchestrator::migrate(
     const core::MigrationOptions& options) {
   auto span = telemetry::Tracer::global().span("cloud.migrate");
   MigrationFlowReport report;
+  // With a PerfMgr attached, bracket the flow with PMA snapshots of the
+  // two uplinks so the report carries *measured* traffic, not just the
+  // modeled SMP counts.
+  std::vector<perf::PortKey> impact_keys;
+  std::vector<perf::PortReading> before;
+  if (perf_ != nullptr) {
+    const auto& hyps = fabric_.hypervisors();
+    IBVS_REQUIRE(dst_hypervisor < hyps.size(), "hypervisor out of range");
+    const auto& src = hyps[fabric_.vm(vm).hypervisor];
+    const auto& dst = hyps[dst_hypervisor];
+    impact_keys = {{src.leaf, src.leaf_port}, {dst.leaf, dst.leaf_port}};
+    before = perf_->read_ports(impact_keys);
+  }
   // Step 1: detach the VF; the live migration begins.
   report.detach_s = timing_.detach_vf_s;
   report.copy_s = timing_.memory_copy_s();
@@ -110,6 +123,17 @@ MigrationFlowReport CloudOrchestrator::migrate(
                       1e-6;
   // Step 4: the VF holding the VM's addresses is attached at the target.
   report.attach_s = timing_.attach_vf_s;
+  if (perf_ != nullptr) {
+    const auto after = perf_->read_ports(impact_keys);
+    perf::MigrationImpact impact;
+    impact.src_before = before[0];
+    impact.src_after = after[0];
+    impact.dst_before = before[1];
+    impact.dst_after = after[1];
+    // Two snapshots of two ports, classic + extended Get each.
+    impact.poll_mads = 8;
+    report.impact = impact;
+  }
   auto& metrics = CloudMetrics::get();
   metrics.migrations.inc();
   metrics.migration_seconds.observe(report.total_s());

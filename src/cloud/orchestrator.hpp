@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/vswitch.hpp"
+#include "perf/perf_mgr.hpp"
 
 namespace ibvs::cloud {
 
@@ -43,6 +44,9 @@ struct MigrationFlowReport {
   double signal_s = 0.0;
   double reconfig_s = 0.0;  ///< SMP time under the transport's TimingModel
   double attach_s = 0.0;
+  /// Measured counter movement on the two hypervisor uplinks, present when
+  /// a PerfMgr is attached (attach_perf).
+  std::optional<perf::MigrationImpact> impact;
 
   [[nodiscard]] double total_s() const noexcept {
     // Memory copy overlaps nothing here (conservative); reconfiguration
@@ -103,6 +107,12 @@ class CloudOrchestrator {
 
   [[nodiscard]] const FlowTiming& timing() const noexcept { return timing_; }
 
+  /// Attaches a PerfMgr: every subsequent migrate() snapshots the source
+  /// and destination hypervisor uplink counters (PMA reads) right before
+  /// and after the flow and reports the measured traffic impact. nullptr
+  /// detaches.
+  void attach_perf(perf::PerfMgr* perf) noexcept { perf_ = perf; }
+
  private:
   std::optional<std::size_t> pick_hypervisor();
 
@@ -110,6 +120,7 @@ class CloudOrchestrator {
   Placement placement_;
   FlowTiming timing_;
   std::size_t rr_next_ = 0;
+  perf::PerfMgr* perf_ = nullptr;
 };
 
 }  // namespace ibvs::cloud

@@ -13,11 +13,15 @@ namespace {
 struct Packet {
   Lid dst;
   std::uint8_t vl = 0;
+  std::uint32_t dwords = 0;         ///< payload size (PMA data units)
+  bool marked = false;              ///< FECN-style congestion mark applied
   std::uint64_t blocked_since = 0;  ///< step the packet last moved
 };
 
 /// One directed link's receive buffers, one FIFO per VL.
 struct Channel {
+  NodeId from = kInvalidNode;    ///< transmitting node
+  PortNum from_port = 0;         ///< egress port at the transmitter
   NodeId to = kInvalidNode;      ///< receiving node
   PortNum to_port = 0;           ///< ingress port at the receiver
   std::vector<std::deque<Packet>> vls;
@@ -41,6 +45,8 @@ class Simulator {
         const Port& port = n.ports[p];
         if (!port.connected()) continue;
         Channel ch;
+        ch.from = id;
+        ch.from_port = p;
         ch.to = port.peer;
         ch.to_port = port.peer_port;
         ch.vls.resize(config.num_vls);
@@ -80,7 +86,13 @@ class Simulator {
         if (src.sent == src.spec.packets) continue;
         auto& fifo = channels_[src.first_channel].vls[src.spec.vl];
         if (fifo.size() >= config_.credits_per_channel) continue;
-        fifo.push_back(Packet{src.spec.dst, src.spec.vl, step});
+        Packet packet;
+        packet.dst = src.spec.dst;
+        packet.vl = src.spec.vl;
+        packet.dwords = src.spec.packet_dwords;
+        packet.blocked_since = step;
+        count_link_crossing(channels_[src.first_channel], packet);
+        fifo.push_back(packet);
         ++src.sent;
         ++in_flight;
         moved = true;
@@ -99,6 +111,7 @@ class Simulator {
               ++report_.delivered;
             } else {
               ++report_.dropped_unrouted;
+              here.ports[channel.to_port].counters.add_rcv_error();
             }
             fifo.pop_front();
             --in_flight;
@@ -116,23 +129,35 @@ class Simulator {
           }
           if (next == kDropChannel) {
             ++report_.dropped_unrouted;
+            here.ports[channel.to_port].counters.add_rcv_error();
             fifo.pop_front();
             --in_flight;
             moved = true;
             continue;
           }
           auto& next_fifo = channels_[next].vls[packet.vl];
+          const Port& egress =
+              fabric_.node(channels_[next].from).ports[channels_[next].from_port];
           if (next_fifo.size() < config_.credits_per_channel) {
             packet.blocked_since = step;
+            count_link_crossing(channels_[next], packet);
             next_fifo.push_back(packet);
             fifo.pop_front();
             moved = true;
             continue;
           }
-          // Blocked. The IB timeout eventually discards it.
+          // Blocked: data waiting for a credit ticks PortXmitWait, and the
+          // first blocked tick applies a FECN-style congestion mark.
+          egress.counters.add_xmit_wait();
+          if (!packet.marked) {
+            packet.marked = true;
+            egress.counters.add_congestion_mark();
+          }
+          // The IB timeout eventually discards it.
           if (config_.timeout_steps > 0 &&
               step - packet.blocked_since >= config_.timeout_steps) {
             ++report_.dropped_timeout;
+            egress.counters.add_xmit_discard();
             fifo.pop_front();
             --in_flight;
             moved = true;
@@ -164,6 +189,14 @@ class Simulator {
  private:
   static constexpr std::uint32_t kDropChannel = ~0u;
   static constexpr std::uint32_t kDeliveredHere = ~0u - 1;
+
+  /// One link crossing: the transmitter's egress port counts xmit, the
+  /// receiver's ingress port counts rcv.
+  void count_link_crossing(const Channel& ch, const Packet& packet) const {
+    fabric_.node(ch.from).ports[ch.from_port].counters.add_xmit(
+        packet.dwords);
+    fabric_.node(ch.to).ports[ch.to_port].counters.add_rcv(packet.dwords);
+  }
 
   std::uint32_t next_channel(const Node& here, const Channel& arrived,
                              const Packet& packet) const {

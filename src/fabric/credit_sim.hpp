@@ -29,6 +29,8 @@ struct FlowSpec {
   Lid dst;                    ///< destination LID
   std::size_t packets = 1;    ///< packets to inject
   std::uint8_t vl = 0;        ///< virtual lane (from the routing's layering)
+  /// Payload size in 4-byte dwords (PMA data counters use this unit).
+  std::uint32_t packet_dwords = 64;
 };
 
 struct CreditSimConfig {
@@ -60,7 +62,10 @@ struct CreditSimReport {
   }
 };
 
-/// Runs the flows to completion (or deadlock / step budget).
+/// Runs the flows to completion (or deadlock / step budget). As packets
+/// move they tick the PMA PortCounters of every port they cross: xmit/rcv
+/// data+packets per hop, xmit-wait (and a FECN-style congestion mark) while
+/// credit-blocked, discards on timeout, rcv-errors on unroutable arrivals.
 CreditSimReport simulate_flows(const Fabric& fabric,
                                const std::vector<FlowSpec>& flows,
                                const CreditSimConfig& config = {});

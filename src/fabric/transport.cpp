@@ -30,6 +30,7 @@ telemetry::Counter& SmpTransport::smp_counter(const Smp& smp) {
 
 void SmpTransport::recompute_hops() {
   hops_cache_.assign(fabric_.size(), ~0u);
+  via_.assign(fabric_.size(), Via{});
   std::vector<NodeId> queue;
   hops_cache_[sm_node_] = 0;
   queue.push_back(sm_node_);
@@ -42,10 +43,28 @@ void SmpTransport::recompute_hops() {
       const Port& port = n.ports[p];
       if (!port.connected() || hops_cache_[port.peer] != ~0u) continue;
       hops_cache_[port.peer] = hops_cache_[u] + 1;
+      via_[port.peer] = Via{u, p, port.peer_port};
       queue.push_back(port.peer);
     }
   }
   hops_valid_ = true;
+}
+
+void SmpTransport::attribute_path_counters(NodeId target) {
+  // Request and response each cross every link of the BFS path once, so
+  // every port on it transmits one MAD and receives one.
+  NodeId at = target;
+  while (at != sm_node_ && at != kInvalidNode) {
+    const Via& via = via_[at];
+    if (via.parent == kInvalidNode) break;  // stale cache entry; stop
+    const Port& down = fabric_.node(via.parent).ports[via.parent_port];
+    const Port& up = fabric_.node(at).ports[via.ingress];
+    down.counters.add_xmit(kMadDwords);
+    down.counters.add_rcv(kMadDwords);
+    up.counters.add_xmit(kMadDwords);
+    up.counters.add_rcv(kMadDwords);
+    at = via.parent;
+  }
 }
 
 std::optional<std::size_t> SmpTransport::hops_to(NodeId target) {
@@ -71,6 +90,8 @@ SendOutcome SmpTransport::account(const Smp& smp,
   }
   outcome.delivered = true;
   outcome.hops = *hops;
+  if (!hops_valid_) recompute_hops();
+  if (smp.target < via_.size()) attribute_path_counters(smp.target);
   outcome.latency_us =
       timing_.smp_latency_us(*hops, smp.routing == SmpRouting::kDirected);
   if (latency_histogram_ == nullptr) {
@@ -183,6 +204,38 @@ SendOutcome SmpTransport::send_discovery_get(NodeId node,
   smp.routing = SmpRouting::kDirected;  // discovery precedes LFTs
   smp.target = node;
   return account(smp, hops_override);
+}
+
+SendOutcome SmpTransport::send_perf_get(NodeId node, PortNum port,
+                                        SmpAttribute attribute,
+                                        SmpRouting routing) {
+  IBVS_REQUIRE(attribute == SmpAttribute::kPortCounters ||
+                   attribute == SmpAttribute::kPortCountersExtended,
+               "send_perf_get carries PMA attributes only");
+  Smp smp;
+  smp.method = SmpMethod::kGet;
+  smp.attribute = attribute;
+  smp.routing = routing;
+  smp.target = node;
+  smp.target_port = port;
+  return account(smp, hops_to(node));
+}
+
+SendOutcome SmpTransport::send_perf_clear(NodeId node, PortNum port,
+                                          SmpRouting routing) {
+  Smp smp;
+  smp.method = SmpMethod::kSet;
+  smp.attribute = SmpAttribute::kPortCounters;
+  smp.routing = routing;
+  smp.target = node;
+  smp.target_port = port;
+  const auto outcome = account(smp, hops_to(node));
+  if (outcome.delivered) {
+    const Node& n = fabric_.node(node);
+    IBVS_REQUIRE(port < n.ports.size(), "perf clear port out of range");
+    n.ports[port].counters.clear_classic();
+  }
+  return outcome;
 }
 
 void SmpTransport::begin_batch() {

@@ -74,6 +74,18 @@ class SmpTransport {
   SendOutcome send_discovery_get(NodeId node, SmpAttribute attribute,
                                  std::size_t hops_override);
 
+  /// PMA Get(PortCounters / PortCountersExtended) for one port of `node` —
+  /// the PerfMgr polling path. PMA MADs are GMPs riding QP1, so they
+  /// default to LID routing like normal traffic.
+  SendOutcome send_perf_get(NodeId node, PortNum port,
+                            SmpAttribute attribute,
+                            SmpRouting routing = SmpRouting::kLidRouted);
+
+  /// PMA Set(PortCounters): clears the classic counter block of (node,
+  /// port) when delivered (the saturation-avoidance clear).
+  SendOutcome send_perf_clear(NodeId node, PortNum port,
+                              SmpRouting routing = SmpRouting::kLidRouted);
+
   // --- Batching: models OpenSM's pipelined LFT distribution. ---
   /// Begins a batch; subsequent sends contribute to the batch completion
   /// time computed with `pipeline_depth` outstanding SMPs.
@@ -93,6 +105,9 @@ class SmpTransport {
  private:
   SendOutcome account(const Smp& smp, std::optional<std::size_t> hops);
   void recompute_hops();
+  /// Bumps the PMA counters of every port the MAD (and its response)
+  /// traverses, walking the cached BFS tree from `target` back to the SM.
+  void attribute_path_counters(NodeId target);
   /// Registry counter for this SMP shape, resolved once per (attribute,
   /// method, routing) combination and cached — account() stays lock-free
   /// after the first SMP of each shape.
@@ -105,13 +120,20 @@ class SmpTransport {
   double total_us_ = 0.0;
 
   /// Cache indexed by (attribute, method, routing); see smp_counter().
-  static constexpr std::size_t kNumAttributes = 7;
+  static constexpr std::size_t kNumAttributes = 9;
   std::array<telemetry::Counter*, kNumAttributes * 2 * 2> smp_counters_{};
   telemetry::Counter* undeliverable_counter_ = nullptr;
   telemetry::Histogram* latency_histogram_ = nullptr;
 
-  // Hop cache (BFS from the SM node over all cabled nodes).
+  // Hop cache (BFS from the SM node over all cabled nodes), plus the BFS
+  // tree itself so MAD traffic can be attributed to the ports it crosses.
+  struct Via {
+    NodeId parent = kInvalidNode;
+    PortNum parent_port = 0;  ///< egress at the parent
+    PortNum ingress = 0;      ///< ingress here
+  };
   std::vector<std::uint32_t> hops_cache_;
+  std::vector<Via> via_;
   bool hops_valid_ = false;
 
   // Batch state: completion times of the in-flight window.

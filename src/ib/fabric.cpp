@@ -61,6 +61,9 @@ void Fabric::disconnect(NodeId id, PortNum port) {
   q.peer_port = 0;
   p.peer = kInvalidNode;
   p.peer_port = 0;
+  // Both ends see the link go down (LinkDownedCounter).
+  p.counters.add_link_downed();
+  q.counters.add_link_downed();
 }
 
 const Node& Fabric::node(NodeId id) const {

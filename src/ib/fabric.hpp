@@ -18,6 +18,7 @@
 
 #include "ib/lft.hpp"
 #include "ib/mft.hpp"
+#include "ib/port_counters.hpp"
 #include "ib/types.hpp"
 
 namespace ibvs {
@@ -47,6 +48,9 @@ struct Port {
   /// multipathing feature against prepopulated VF LIDs, which provide the
   /// same alternative-path benefit without the sequentiality requirement.
   std::uint8_t lmc = 0;
+  /// PMA counter block. Hardware counters tick even on read-only views of
+  /// the fabric (credit_sim takes const Fabric&), hence mutable.
+  mutable PortCounters counters;
 
   [[nodiscard]] bool connected() const noexcept { return peer != kInvalidNode; }
 

@@ -1,0 +1,26 @@
+#include "ib/port_counters.hpp"
+
+namespace ibvs {
+
+bool PortCounters::any_classic_saturated() const noexcept {
+  return xmit_data == kMax32 || rcv_data == kMax32 ||
+         xmit_pkts == kMax32 || rcv_pkts == kMax32 || xmit_wait == kMax32 ||
+         symbol_errors == kMax16 || xmit_discards == kMax16 ||
+         rcv_errors == kMax16 || congestion_marks == kMax16 ||
+         link_downed == kMax8;
+}
+
+void PortCounters::clear_classic() noexcept {
+  xmit_data = 0;
+  rcv_data = 0;
+  xmit_pkts = 0;
+  rcv_pkts = 0;
+  xmit_wait = 0;
+  symbol_errors = 0;
+  xmit_discards = 0;
+  rcv_errors = 0;
+  congestion_marks = 0;
+  link_downed = 0;
+}
+
+}  // namespace ibvs

@@ -1,0 +1,93 @@
+// Per-port performance counters (the PMA's PortCounters attribute).
+//
+// Every port of every node — switch external ports, CA/PF/VF ports, vSwitch
+// ports — carries a hardware counter block that increments as a side effect
+// of traffic moving through the simulated fabric (credit_sim data packets,
+// SmpTransport management datagrams). Two families coexist, as on real HCAs:
+//
+//  * Classic counters (IBA PortCounters): narrow fields that *saturate* at
+//    their width instead of wrapping — 32 bits for data/packet/wait counts,
+//    16 bits for error tallies, 8 bits for link-downed. Once pegged they
+//    stay pegged until a PMA Set(PortCounters) clears them, which is why a
+//    PerfMgr must poll often enough and clear proactively.
+//
+//  * Extended counters (IBA PortCountersExtended): 64-bit data/packet
+//    counts that for all practical purposes never overflow. Error counters
+//    have no extended variant, exactly as in the specification.
+//
+// Data counters are in dwords (4-byte units), the IBA convention.
+#pragma once
+
+#include <cstdint>
+
+namespace ibvs {
+
+/// One IB MAD is 256 bytes = 64 dwords; management traffic is accounted at
+/// this size on every port it traverses.
+inline constexpr std::uint32_t kMadDwords = 64;
+
+struct PortCounters {
+  // --- Classic (saturating at field width). ---
+  std::uint32_t xmit_data = 0;     ///< dwords transmitted
+  std::uint32_t rcv_data = 0;      ///< dwords received
+  std::uint32_t xmit_pkts = 0;
+  std::uint32_t rcv_pkts = 0;
+  /// Ticks a head-of-line packet had data to send but no credit to send it.
+  std::uint32_t xmit_wait = 0;
+  std::uint16_t symbol_errors = 0;   ///< physical-layer symbol errors
+  std::uint16_t xmit_discards = 0;   ///< packets dropped before transmit
+  std::uint16_t rcv_errors = 0;      ///< unroutable / misdelivered arrivals
+  std::uint16_t congestion_marks = 0;  ///< FECN-style marks applied here
+  std::uint8_t link_downed = 0;      ///< times the link went down
+  // --- Extended (64-bit, non-saturating). ---
+  std::uint64_t ext_xmit_data = 0;
+  std::uint64_t ext_rcv_data = 0;
+  std::uint64_t ext_xmit_pkts = 0;
+  std::uint64_t ext_rcv_pkts = 0;
+
+  static constexpr std::uint32_t kMax32 = 0xFFFFFFFFu;
+  static constexpr std::uint16_t kMax16 = 0xFFFFu;
+  static constexpr std::uint8_t kMax8 = 0xFFu;
+
+  /// Saturating add at the field's width (the classic-counter semantics).
+  template <typename T>
+  static void sat_add(T& field, std::uint64_t delta) noexcept {
+    const std::uint64_t max = static_cast<T>(~T{0});
+    const std::uint64_t sum = field + delta;
+    field = static_cast<T>(sum < field || sum > max ? max : sum);
+  }
+
+  void add_xmit(std::uint32_t dwords, std::uint32_t pkts = 1) noexcept {
+    sat_add(xmit_data, dwords);
+    sat_add(xmit_pkts, pkts);
+    ext_xmit_data += dwords;
+    ext_xmit_pkts += pkts;
+  }
+  void add_rcv(std::uint32_t dwords, std::uint32_t pkts = 1) noexcept {
+    sat_add(rcv_data, dwords);
+    sat_add(rcv_pkts, pkts);
+    ext_rcv_data += dwords;
+    ext_rcv_pkts += pkts;
+  }
+  void add_xmit_wait(std::uint32_t ticks = 1) noexcept {
+    sat_add(xmit_wait, ticks);
+  }
+  void add_symbol_errors(std::uint32_t n = 1) noexcept {
+    sat_add(symbol_errors, n);
+  }
+  void add_xmit_discard() noexcept { sat_add(xmit_discards, 1); }
+  void add_rcv_error() noexcept { sat_add(rcv_errors, 1); }
+  void add_congestion_mark() noexcept { sat_add(congestion_marks, 1); }
+  void add_link_downed() noexcept { sat_add(link_downed, 1); }
+
+  /// Any classic field pegged at its width? Deltas computed from a pegged
+  /// counter are lower bounds; the PerfMgr clears and flags them.
+  [[nodiscard]] bool any_classic_saturated() const noexcept;
+
+  /// The PMA Set(PortCounters) clear: zeroes the classic block only. The
+  /// extended counters keep running, which is what makes them usable for
+  /// long-horizon rate computation.
+  void clear_classic() noexcept;
+};
+
+}  // namespace ibvs

@@ -20,6 +20,10 @@ std::string to_string(SmpAttribute attribute) {
       return "GuidInfo";
     case SmpAttribute::kVSwitchLidAssign:
       return "VSwitchLidAssign";
+    case SmpAttribute::kPortCounters:
+      return "PortCounters";
+    case SmpAttribute::kPortCountersExtended:
+      return "PortCountersExtended";
   }
   return "Unknown";
 }
@@ -57,6 +61,10 @@ void SmpCounters::record(const Smp& smp) noexcept {
     case SmpAttribute::kSwitchInfo:
       ++discovery;
       break;
+    case SmpAttribute::kPortCounters:
+    case SmpAttribute::kPortCountersExtended:
+      ++perf_mgmt;
+      break;
   }
   if (smp.routing == SmpRouting::kDirected) {
     ++directed;
@@ -73,6 +81,7 @@ SmpCounters& SmpCounters::operator+=(const SmpCounters& other) noexcept {
   guid_info += other.guid_info;
   vf_lid_assign += other.vf_lid_assign;
   discovery += other.discovery;
+  perf_mgmt += other.perf_mgmt;
   directed += other.directed;
   lid_routed += other.lid_routed;
   return *this;

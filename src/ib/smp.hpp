@@ -31,6 +31,12 @@ enum class SmpAttribute : std::uint8_t {
   kMulticastFwdTable,  ///< one (32-MLID block, 16-port position) MFT slice
   kGuidInfo,        ///< vGUID (alias GUID) programming on an HCA port
   kVSwitchLidAssign,  ///< vendor-style: set/unset the LID of a VF (§V-C step a)
+  // Performance-management class (PMA). Real PMA MADs are GMPs on QP1 —
+  // LID-routed like normal traffic — but they share the MAD wire format and
+  // this simulator's transport, so the PerfMgr's polling cost lands in the
+  // same accounting as SMPs.
+  kPortCounters,       ///< Get: poll classic counters; Set: clear them
+  kPortCountersExtended,  ///< Get: poll the 64-bit extended counters
 };
 
 enum class SmpMethod : std::uint8_t { kGet, kSet };
@@ -66,6 +72,7 @@ struct SmpCounters {
   std::uint64_t guid_info = 0;
   std::uint64_t vf_lid_assign = 0;
   std::uint64_t discovery = 0;
+  std::uint64_t perf_mgmt = 0;  ///< PMA polls and clears (PerfMgr traffic)
   std::uint64_t directed = 0;
   std::uint64_t lid_routed = 0;
 

@@ -1,0 +1,179 @@
+#include "perf/health.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+#include "util/expect.hpp"
+
+namespace ibvs::perf {
+
+namespace {
+
+struct HealthMetrics {
+  telemetry::Gauge& ports_ok;
+  telemetry::Gauge& ports_degraded;
+  telemetry::Gauge& ports_error;
+  telemetry::Gauge& ports_stuck;
+  telemetry::Gauge& fabric_status;
+  telemetry::Counter& findings;
+
+  static HealthMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static HealthMetrics m{
+        reg.gauge("ibvs_health_ports", {{"status", "ok"}},
+                  "Ports by health verdict in the last analyzed sweep"),
+        reg.gauge("ibvs_health_ports", {{"status", "degraded"}}),
+        reg.gauge("ibvs_health_ports", {{"status", "error"}}),
+        reg.gauge("ibvs_health_stuck_ports", {},
+                  "Ports wedged (waiting, moving nothing) for consecutive "
+                  "sweeps"),
+        reg.gauge("ibvs_health_fabric_status", {},
+                  "Overall fabric verdict: 0=ok 1=degraded 2=error"),
+        reg.counter("ibvs_health_findings_total", {},
+                    "Non-Ok port findings produced by the health monitor"),
+    };
+    return m;
+  }
+};
+
+void append_reason(std::string& reason, const std::string& part) {
+  if (!reason.empty()) reason += ", ";
+  reason += part;
+}
+
+}  // namespace
+
+std::string_view to_string(PortStatus status) noexcept {
+  switch (status) {
+    case PortStatus::kOk: return "OK";
+    case PortStatus::kDegraded: return "DEGRADED";
+    case PortStatus::kError: return "ERROR";
+  }
+  return "?";
+}
+
+HealthReport HealthMonitor::analyze(const SweepReport& sweep) {
+  HealthReport report;
+  report.sweep_index = sweep.sweep_index;
+  report.ports = sweep.deltas.size();
+
+  for (const PortDelta& d : sweep.deltas) {
+    PortStatus status = PortStatus::kOk;
+    std::string reason;
+    const auto raise = [&](PortStatus s, const std::string& why) {
+      status = std::max(status, s);
+      append_reason(reason, why);
+    };
+    if (d.link_downed >= thresholds_.link_downed_error) {
+      raise(PortStatus::kError,
+            std::to_string(d.link_downed) + " link-downed");
+    }
+    if (d.symbol_errors >= thresholds_.symbol_errors_error) {
+      raise(PortStatus::kError,
+            std::to_string(d.symbol_errors) + " symbol errors");
+    } else if (d.symbol_errors >= thresholds_.symbol_errors_degraded) {
+      raise(PortStatus::kDegraded,
+            std::to_string(d.symbol_errors) + " symbol errors");
+    }
+    if (d.rcv_errors >= thresholds_.rcv_errors_degraded) {
+      raise(PortStatus::kDegraded,
+            std::to_string(d.rcv_errors) + " rcv errors");
+    }
+    if (d.xmit_discards >= thresholds_.discards_degraded) {
+      raise(PortStatus::kDegraded,
+            std::to_string(d.xmit_discards) + " xmit discards");
+    }
+
+    switch (status) {
+      case PortStatus::kOk: ++report.ok; break;
+      case PortStatus::kDegraded: ++report.degraded; break;
+      case PortStatus::kError: ++report.errors; break;
+    }
+    if (status != PortStatus::kOk) {
+      report.findings.push_back({d.node, d.port, status, std::move(reason)});
+    }
+
+    // Stuck detection: waiting for credits but moving nothing, sweep after
+    // sweep. Uses the same key scheme as the PerfMgr history.
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(d.node) << 8) | d.port;
+    if (d.xmit_wait > 0 && d.xmit_pkts == 0) {
+      if (++wedged_streak_[k] >= thresholds_.stuck_sweeps) {
+        report.stuck.push_back({d.node, d.port});
+      }
+    } else {
+      wedged_streak_.erase(k);
+    }
+  }
+
+  // Congestion hotspots: top-k ports by xmit-wait movement.
+  std::vector<Hotspot> waiting;
+  for (const PortDelta& d : sweep.deltas) {
+    if (d.xmit_wait >= thresholds_.min_hotspot_wait) {
+      waiting.push_back({d.node, d.port, d.xmit_wait});
+    }
+  }
+  const std::size_t k = std::min(thresholds_.top_k_hotspots, waiting.size());
+  std::partial_sort(waiting.begin(), waiting.begin() + k, waiting.end(),
+                    [](const Hotspot& a, const Hotspot& b) {
+                      return a.xmit_wait > b.xmit_wait;
+                    });
+  waiting.resize(k);
+  report.hotspots = std::move(waiting);
+
+  auto& metrics = HealthMetrics::get();
+  metrics.ports_ok.set(static_cast<double>(report.ok));
+  metrics.ports_degraded.set(static_cast<double>(report.degraded));
+  metrics.ports_error.set(static_cast<double>(report.errors));
+  metrics.ports_stuck.set(static_cast<double>(report.stuck.size()));
+  metrics.fabric_status.set(
+      static_cast<double>(static_cast<int>(report.fabric_status())));
+  metrics.findings.inc(report.findings.size());
+  return report;
+}
+
+std::string render_fabric_health(const HealthReport& report,
+                                 const Fabric& fabric) {
+  const auto port_name = [&fabric](NodeId node, PortNum port) {
+    std::ostringstream os;
+    os << fabric.node(node).name << "/p" << static_cast<unsigned>(port);
+    return os.str();
+  };
+  std::ostringstream os;
+  os << "ibvs-fabric-health: sweep #" << report.sweep_index << " — "
+     << to_string(report.fabric_status()) << "\n";
+  os << "  ports polled : " << report.ports << "\n";
+  os << "  ok           : " << report.ok << "\n";
+  os << "  degraded     : " << report.degraded << "\n";
+  os << "  error        : " << report.errors << "\n";
+  if (!report.findings.empty()) {
+    os << "findings:\n";
+    for (const PortFinding& f : report.findings) {
+      os << "  [" << to_string(f.status) << "] "
+         << port_name(f.node, f.port) << ": " << f.reason << "\n";
+    }
+  }
+  if (!report.hotspots.empty()) {
+    os << "congestion hotspots (by xmit-wait delta):\n";
+    for (const Hotspot& h : report.hotspots) {
+      os << "  " << port_name(h.node, h.port) << "  wait=" << h.xmit_wait
+         << "\n";
+    }
+  }
+  if (!report.stuck.empty()) {
+    os << "stuck ports (waiting, moving nothing):\n";
+    for (const PortKey& p : report.stuck) {
+      os << "  " << port_name(p.node, p.port) << "\n";
+    }
+  }
+  return os.str();
+}
+
+void apply_to_sm(sm::SubnetManager& sm, const HealthReport& report) {
+  for (const PortFinding& f : report.findings) {
+    sm.flag_degraded_port(f.node, f.port, f.reason);
+  }
+}
+
+}  // namespace ibvs::perf

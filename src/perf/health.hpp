@@ -1,0 +1,104 @@
+// Fabric health and anomaly detection on top of PerfMgr sweep deltas.
+//
+// Three detectors, all operating on per-sweep counter movement (so a long-
+// running fabric with old accumulated errors is not permanently "sick"):
+//
+//  * link quality  — symbol-error / rcv-error / discard / link-downed rates
+//    against thresholds, classifying each port Ok / Degraded / Error;
+//  * congestion hotspots — the top-k ports by PortXmitWait delta, the
+//    standard "where is the fabric backed up" question;
+//  * stuck ports — ports that accumulate xmit-wait but move no packets for
+//    several consecutive sweeps (head-of-line wedged, e.g. a routing loop
+//    or a dead peer that still grants no credits).
+//
+// The summary is exported through the telemetry registry (Prometheus/JSON)
+// and renderable as an ibdiagnet-style text report; apply_to_sm() feeds the
+// verdicts back into the SubnetManager so the SM can flag degraded links.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "perf/perf_mgr.hpp"
+
+namespace ibvs::perf {
+
+enum class PortStatus : std::uint8_t { kOk, kDegraded, kError };
+
+[[nodiscard]] std::string_view to_string(PortStatus status) noexcept;
+
+struct HealthThresholds {
+  /// Symbol-error delta per sweep at which a link counts as degraded /
+  /// broken. BER spikes show up here first on real fabrics.
+  std::uint64_t symbol_errors_degraded = 1;
+  std::uint64_t symbol_errors_error = 64;
+  std::uint64_t rcv_errors_degraded = 1;
+  std::uint64_t discards_degraded = 1;
+  /// Any link-downed event within a sweep is an error.
+  std::uint64_t link_downed_error = 1;
+  /// Congestion hotspots reported: top-k by xmit-wait delta.
+  std::size_t top_k_hotspots = 4;
+  std::uint64_t min_hotspot_wait = 1;
+  /// Consecutive sweeps of (xmit_wait > 0, xmit_pkts == 0) before a port
+  /// counts as stuck.
+  std::uint64_t stuck_sweeps = 2;
+};
+
+struct PortFinding {
+  NodeId node = kInvalidNode;
+  PortNum port = 0;
+  PortStatus status = PortStatus::kOk;
+  std::string reason;
+};
+
+struct Hotspot {
+  NodeId node = kInvalidNode;
+  PortNum port = 0;
+  std::uint64_t xmit_wait = 0;  ///< delta this sweep
+};
+
+struct HealthReport {
+  std::uint64_t sweep_index = 0;
+  std::size_t ports = 0;
+  std::size_t ok = 0;
+  std::size_t degraded = 0;
+  std::size_t errors = 0;
+  std::vector<PortFinding> findings;  ///< the non-Ok ports
+  std::vector<Hotspot> hotspots;      ///< top-k by xmit-wait delta
+  std::vector<PortKey> stuck;
+
+  [[nodiscard]] PortStatus fabric_status() const noexcept {
+    if (errors > 0) return PortStatus::kError;
+    if (degraded > 0 || !stuck.empty()) return PortStatus::kDegraded;
+    return PortStatus::kOk;
+  }
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// Classifies every port of the sweep, updates stuck-port streaks, and
+  /// refreshes the registry gauges. Call once per sweep, in order.
+  HealthReport analyze(const SweepReport& sweep);
+
+  [[nodiscard]] const HealthThresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  HealthThresholds thresholds_;
+  /// (node<<8)|port -> consecutive wedged sweeps.
+  std::unordered_map<std::uint64_t, std::uint64_t> wedged_streak_;
+};
+
+/// ibdiagnet-style human-readable report ("ibvs-fabric-health").
+[[nodiscard]] std::string render_fabric_health(const HealthReport& report,
+                                               const Fabric& fabric);
+
+/// Feeds non-Ok findings into the SM (SubnetManager::flag_degraded_port).
+void apply_to_sm(sm::SubnetManager& sm, const HealthReport& report);
+
+}  // namespace ibvs::perf

@@ -1,0 +1,199 @@
+#include "perf/perf_mgr.hpp"
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/expect.hpp"
+
+namespace ibvs::perf {
+
+namespace {
+
+struct PerfMetrics {
+  telemetry::Counter& sweeps;
+  telemetry::Counter& ports_polled;
+  telemetry::Counter& clears;
+  telemetry::Gauge& last_mads;
+  telemetry::Gauge& last_time_us;
+  telemetry::Gauge& last_ports;
+
+  static PerfMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static PerfMetrics m{
+        reg.counter("ibvs_perf_sweeps_total", {},
+                    "PerfMgr polling sweeps completed"),
+        reg.counter("ibvs_perf_ports_polled_total", {},
+                    "Ports polled across all PerfMgr sweeps"),
+        reg.counter("ibvs_perf_counter_clears_total", {},
+                    "Proactive classic-counter clears (saturation avoidance)"),
+        reg.gauge("ibvs_perf_last_sweep_mads", {},
+                  "PMA MADs the last sweep cost"),
+        reg.gauge("ibvs_perf_last_sweep_time_us", {},
+                  "Batch makespan of the last sweep under the timing model"),
+        reg.gauge("ibvs_perf_last_sweep_ports", {},
+                  "Ports polled by the last sweep"),
+    };
+    return m;
+  }
+};
+
+/// Delta of one classic (saturating) field. A sample smaller than the
+/// previous one means the block was cleared between polls, so the new
+/// sample *is* the delta.
+std::uint64_t classic_delta(std::uint64_t prev, std::uint64_t now) noexcept {
+  return now >= prev ? now - prev : now;
+}
+
+/// Would OpenSM-style proactive clearing fire for this block?
+bool wants_clear(const PortCounters& c, double fraction) noexcept {
+  if (fraction <= 0.0) return false;
+  const auto over = [fraction](std::uint64_t value, std::uint64_t max) {
+    return static_cast<double>(value) >=
+           fraction * static_cast<double>(max);
+  };
+  return over(c.xmit_data, PortCounters::kMax32) ||
+         over(c.rcv_data, PortCounters::kMax32) ||
+         over(c.xmit_pkts, PortCounters::kMax32) ||
+         over(c.rcv_pkts, PortCounters::kMax32) ||
+         over(c.xmit_wait, PortCounters::kMax32) ||
+         over(c.symbol_errors, PortCounters::kMax16) ||
+         over(c.xmit_discards, PortCounters::kMax16) ||
+         over(c.rcv_errors, PortCounters::kMax16) ||
+         over(c.congestion_marks, PortCounters::kMax16) ||
+         over(c.link_downed, PortCounters::kMax8);
+}
+
+}  // namespace
+
+const PortDelta* SweepReport::find(NodeId node, PortNum port) const {
+  for (const PortDelta& d : deltas) {
+    if (d.node == node && d.port == port) return &d;
+  }
+  return nullptr;
+}
+
+PerfMgr::PerfMgr(sm::SubnetManager& sm, PerfMgrConfig config)
+    : sm_(sm), config_(config) {}
+
+PortDelta PerfMgr::poll_port(NodeId node, PortNum port, SweepReport& report) {
+  auto& transport = sm_.transport();
+  transport.send_perf_get(node, port, SmpAttribute::kPortCounters,
+                          config_.routing);
+  ++report.mads;
+  if (config_.poll_extended) {
+    transport.send_perf_get(node, port, SmpAttribute::kPortCountersExtended,
+                            config_.routing);
+    ++report.mads;
+  }
+
+  // What the Get responses carry: a snapshot taken after the request MADs
+  // themselves crossed the fabric (polling observes its own traffic).
+  const PortCounters now = sm_.fabric().node(node).ports[port].counters;
+
+  PortDelta delta;
+  delta.node = node;
+  delta.port = port;
+  History& hist = history_[key(node, port)];
+  const PortCounters prev = hist.valid ? hist.last : PortCounters{};
+
+  if (config_.poll_extended) {
+    // 64-bit counters wrap modulo 2^64; unsigned subtraction is exact.
+    delta.from_extended = true;
+    delta.xmit_data = now.ext_xmit_data - prev.ext_xmit_data;
+    delta.rcv_data = now.ext_rcv_data - prev.ext_rcv_data;
+    delta.xmit_pkts = now.ext_xmit_pkts - prev.ext_xmit_pkts;
+    delta.rcv_pkts = now.ext_rcv_pkts - prev.ext_rcv_pkts;
+  } else {
+    delta.xmit_data = classic_delta(prev.xmit_data, now.xmit_data);
+    delta.rcv_data = classic_delta(prev.rcv_data, now.rcv_data);
+    delta.xmit_pkts = classic_delta(prev.xmit_pkts, now.xmit_pkts);
+    delta.rcv_pkts = classic_delta(prev.rcv_pkts, now.rcv_pkts);
+  }
+  delta.xmit_wait = classic_delta(prev.xmit_wait, now.xmit_wait);
+  delta.symbol_errors =
+      classic_delta(prev.symbol_errors, now.symbol_errors);
+  delta.xmit_discards =
+      classic_delta(prev.xmit_discards, now.xmit_discards);
+  delta.rcv_errors = classic_delta(prev.rcv_errors, now.rcv_errors);
+  delta.congestion_marks =
+      classic_delta(prev.congestion_marks, now.congestion_marks);
+  delta.link_downed = classic_delta(prev.link_downed, now.link_downed);
+  delta.saturated = now.any_classic_saturated();
+
+  if (wants_clear(now, config_.clear_fraction)) {
+    transport.send_perf_clear(node, port, config_.routing);
+    ++report.mads;
+    ++report.clears;
+    delta.cleared = true;
+  }
+  // Re-read after a possible clear so the next delta starts from the
+  // zeroed classic block (extended counters keep running through it).
+  hist.last = sm_.fabric().node(node).ports[port].counters;
+  hist.valid = true;
+  return delta;
+}
+
+SweepReport PerfMgr::sweep() {
+  SweepReport report;
+  report.sweep_index = ++sweeps_;
+  auto span = telemetry::Tracer::global().span(
+      "perf.sweep", {{"sweep", std::to_string(report.sweep_index)}});
+
+  auto& transport = sm_.transport();
+  const Fabric& fabric = sm_.fabric();
+  transport.begin_batch();
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    if (n.is_ca() && !config_.include_ca_ports) continue;
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      if (!n.ports[p].connected()) continue;
+      if (!transport.hops_to(id)) continue;  // unreachable: nothing answers
+      report.deltas.push_back(poll_port(id, p, report));
+      ++report.ports_polled;
+    }
+  }
+  report.time_us = transport.end_batch();
+
+  auto& metrics = PerfMetrics::get();
+  metrics.sweeps.inc();
+  metrics.ports_polled.inc(report.ports_polled);
+  metrics.clears.inc(report.clears);
+  metrics.last_mads.set(static_cast<double>(report.mads));
+  metrics.last_time_us.set(report.time_us);
+  metrics.last_ports.set(static_cast<double>(report.ports_polled));
+  span.set_attr("ports", std::to_string(report.ports_polled));
+  span.set_attr("mads", std::to_string(report.mads));
+  span.set_attr("clears", std::to_string(report.clears));
+  return report;
+}
+
+std::vector<PortReading> PerfMgr::read_ports(
+    const std::vector<PortKey>& ports) {
+  auto& transport = sm_.transport();
+  std::vector<PortReading> readings;
+  readings.reserve(ports.size());
+  for (const PortKey& pk : ports) {
+    IBVS_REQUIRE(pk.node < sm_.fabric().size(), "port key out of range");
+    transport.send_perf_get(pk.node, pk.port, SmpAttribute::kPortCounters,
+                            config_.routing);
+    transport.send_perf_get(pk.node, pk.port,
+                            SmpAttribute::kPortCountersExtended,
+                            config_.routing);
+    const PortCounters& c = sm_.fabric().node(pk.node).ports[pk.port].counters;
+    PortReading r;
+    r.node = pk.node;
+    r.port = pk.port;
+    r.xmit_data = c.ext_xmit_data;
+    r.rcv_data = c.ext_rcv_data;
+    r.xmit_pkts = c.ext_xmit_pkts;
+    r.rcv_pkts = c.ext_rcv_pkts;
+    r.xmit_wait = c.xmit_wait;
+    r.xmit_discards = c.xmit_discards;
+    r.symbol_errors = c.symbol_errors;
+    readings.push_back(r);
+  }
+  return readings;
+}
+
+}  // namespace ibvs::perf

@@ -245,6 +245,25 @@ SweepReport SubnetManager::full_sweep() {
   return report;
 }
 
+void SubnetManager::flag_degraded_port(NodeId node, PortNum port,
+                                       std::string_view reason) {
+  IBVS_REQUIRE(node < fabric_.size(), "flagged node out of range");
+  for (FlaggedPort& f : degraded_ports_) {
+    if (f.node == node && f.port == port) {
+      f.reason = std::string(reason);
+      return;
+    }
+  }
+  static telemetry::Counter& flagged = telemetry::Registry::global().counter(
+      "ibvs_sm_degraded_ports_flagged_total", {},
+      "Distinct ports the health layer reported to the SM");
+  flagged.inc();
+  degraded_ports_.push_back({node, port, std::string(reason)});
+  IBVS_WARN("sm") << "degraded link flagged: " << fabric_.node(node).name
+                  << "/p" << static_cast<unsigned>(port) << " (" << reason
+                  << ")";
+}
+
 void SubnetManager::update_master_entry(routing::SwitchIdx sw, Lid lid,
                                         PortNum port) {
   IBVS_REQUIRE(routing_ready_, "no master tables yet");

@@ -19,6 +19,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fabric/transport.hpp"
@@ -125,6 +127,24 @@ class SubnetManager {
   }
   void bump_generation() noexcept { ++generation_; }
 
+  /// A port the health layer (PerfMgr) reported as unhealthy.
+  struct FlaggedPort {
+    NodeId node = kInvalidNode;
+    PortNum port = 0;
+    std::string reason;
+  };
+
+  /// Health-verdict intake: logs and remembers a degraded link. Repeated
+  /// flags for the same (node, port) refresh the reason without growing the
+  /// list, so steady-state polling does not spam.
+  void flag_degraded_port(NodeId node, PortNum port, std::string_view reason);
+
+  [[nodiscard]] const std::vector<FlaggedPort>& degraded_ports()
+      const noexcept {
+    return degraded_ports_;
+  }
+  void clear_degraded_ports() noexcept { degraded_ports_.clear(); }
+
  private:
   Fabric& fabric_;
   LidMap lids_;
@@ -133,6 +153,7 @@ class SubnetManager {
   routing::RoutingResult routing_;
   bool routing_ready_ = false;
   std::uint64_t generation_ = 0;
+  std::vector<FlaggedPort> degraded_ports_;
 };
 
 }  // namespace ibvs::sm

@@ -130,6 +130,27 @@ std::uint64_t Histogram::cumulative(std::size_t i) const {
   return total;
 }
 
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    cum += in_bucket;
+    if (in_bucket == 0 || static_cast<double>(cum) < rank) continue;
+    if (b == bounds_.size()) return bounds_.back();  // overflow clamps
+    const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+    const double frac =
+        (rank - static_cast<double>(cum - in_bucket)) /
+        static_cast<double>(in_bucket);
+    return lower + (bounds_[b] - lower) * frac;
+  }
+  return bounds_.back();
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -276,6 +297,14 @@ std::string Registry::prometheus_text() const {
              << format_double(histogram->sum()) << "\n";
           os << name << "_count" << prometheus_labels(labels) << " "
              << histogram->count() << "\n";
+          // Estimated quantiles (what histogram_quantile() would compute
+          // server-side), exported so a scrape is directly readable.
+          for (const double q : {0.5, 0.95, 0.99}) {
+            Labels with_q = labels;
+            with_q.emplace_back("quantile", format_double(q));
+            os << name << prometheus_labels(with_q) << " "
+               << format_double(histogram->quantile(q)) << "\n";
+          }
         }
         break;
     }
@@ -313,7 +342,11 @@ std::string Registry::json_snapshot() const {
                  << "\",\"labels\":" << json_labels(labels)
                  << ",\"count\":" << histogram->count()
                  << ",\"sum\":" << format_double(histogram->sum())
-                 << ",\"buckets\":[";
+                 << ",\"quantiles\":{\"p50\":"
+                 << format_double(histogram->quantile(0.5)) << ",\"p95\":"
+                 << format_double(histogram->quantile(0.95)) << ",\"p99\":"
+                 << format_double(histogram->quantile(0.99))
+                 << "},\"buckets\":[";
       const auto& bounds = histogram->bounds();
       std::uint64_t prev_cumulative = 0;
       bool first_b = true;

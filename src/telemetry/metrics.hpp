@@ -111,6 +111,11 @@ class Histogram {
   /// Cumulative count of observations <= bounds()[i]; index bounds().size()
   /// is the total (the +Inf bucket).
   [[nodiscard]] std::uint64_t cumulative(std::size_t i) const;
+  /// Estimated q-quantile (q in [0,1]) from the bucket counts, with linear
+  /// interpolation inside the bucket (the Prometheus histogram_quantile
+  /// estimate). Observations in the overflow bucket clamp to the last
+  /// finite bound; an empty histogram reports 0.
+  [[nodiscard]] double quantile(double q) const noexcept;
   void reset() noexcept;
 
  private:

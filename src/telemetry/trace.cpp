@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 namespace ibvs::telemetry {
 
@@ -106,8 +108,31 @@ void Span::end() {
 Tracer::Tracer() : epoch_ns_(monotonic_ns()) {}
 
 Tracer& Tracer::global() {
-  static Tracer instance;
-  return instance;
+  // Leaked on purpose: the atexit flush below must be able to run during
+  // static destruction of other translation units without racing this
+  // object's own teardown.
+  static Tracer* instance = [] {
+    auto* tracer = new Tracer;
+    std::atexit([] {
+      const char* path = std::getenv("IBVS_TRACE_OUT");
+      if (path != nullptr && path[0] != '\0') {
+        Tracer::global().flush_to_file(path);
+      }
+    });
+    return tracer;
+  }();
+  return *instance;
+}
+
+bool Tracer::flush_to_file(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_.empty()) return false;
+  std::ofstream os(path);
+  if (!os) return false;
+  for (const auto& record : finished_) {
+    os << record.to_json() << '\n';
+  }
+  return true;
 }
 
 double Tracer::now_us() const noexcept {

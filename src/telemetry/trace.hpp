@@ -104,6 +104,12 @@ class Tracer {
   /// Writes all buffered spans as JSON lines.
   void dump_jsonl(std::ostream& os) const;
 
+  /// Writes buffered spans as JSON lines to `path`, creating the file only
+  /// when there is something to write. Returns whether a file was written.
+  /// The global tracer calls this at process exit with $IBVS_TRACE_OUT so
+  /// traces survive a run that forgets to export them.
+  bool flush_to_file(const std::string& path) const;
+
   /// Drops buffered spans (streamed output is unaffected).
   void clear();
 

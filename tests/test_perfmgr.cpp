@@ -1,0 +1,414 @@
+// PerfMgr: PMA counter semantics, sweep deltas, health verdicts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+
+#include "cloud/orchestrator.hpp"
+#include "fabric/credit_sim.hpp"
+#include "perf/health.hpp"
+#include "perf/perf_mgr.hpp"
+#include "telemetry/metrics.hpp"
+#include "tests/helpers.hpp"
+
+namespace ibvs {
+namespace {
+
+using perf::HealthMonitor;
+using perf::HealthThresholds;
+using perf::PerfMgr;
+using perf::PerfMgrConfig;
+using perf::PortStatus;
+
+// --- Classic (saturating) counter semantics ---
+
+TEST(PortCountersModel, SatAddPegsAtFieldWidth) {
+  PortCounters c;
+  c.add_xmit(PortCounters::kMax32 - 10, 1);
+  c.add_xmit(100, 1);  // would overflow the 32-bit field
+  EXPECT_EQ(c.xmit_data, PortCounters::kMax32);  // pegged, not wrapped
+  // The extended counter kept exact count straight through.
+  EXPECT_EQ(c.ext_xmit_data,
+            static_cast<std::uint64_t>(PortCounters::kMax32) + 90);
+  EXPECT_TRUE(c.any_classic_saturated());
+}
+
+TEST(PortCountersModel, NarrowFieldsSaturateAtTheirOwnWidth) {
+  PortCounters c;
+  c.add_symbol_errors(PortCounters::kMax16);
+  c.add_symbol_errors(5);
+  EXPECT_EQ(c.symbol_errors, PortCounters::kMax16);
+  for (int i = 0; i < 300; ++i) c.add_link_downed();
+  EXPECT_EQ(c.link_downed, PortCounters::kMax8);
+  EXPECT_TRUE(c.any_classic_saturated());
+}
+
+TEST(PortCountersModel, ClearClassicPreservesExtended) {
+  PortCounters c;
+  c.add_xmit(1000, 7);
+  c.add_rcv(500, 3);
+  c.add_xmit_wait(9);
+  c.add_symbol_errors(2);
+  c.clear_classic();
+  EXPECT_EQ(c.xmit_data, 0u);
+  EXPECT_EQ(c.xmit_pkts, 0u);
+  EXPECT_EQ(c.xmit_wait, 0u);
+  EXPECT_EQ(c.symbol_errors, 0u);
+  EXPECT_FALSE(c.any_classic_saturated());
+  // Extended counters run through the clear (long-horizon rates rely on it).
+  EXPECT_EQ(c.ext_xmit_data, 1000u);
+  EXPECT_EQ(c.ext_xmit_pkts, 7u);
+  EXPECT_EQ(c.ext_rcv_data, 500u);
+}
+
+// --- Sweeps and deltas on a routed subnet ---
+
+struct PerfMgrTest : ::testing::Test {
+  test::PhysicalSubnet s = test::PhysicalSubnet::small_fat_tree();
+
+  void SetUp() override { s.sm->full_sweep(); }
+
+  PortCounters& host_counters(std::size_t host_idx) {
+    return s.fabric.node(s.hosts[host_idx]).ports[1].counters;
+  }
+};
+
+TEST_F(PerfMgrTest, FirstSweepPollsEveryReachablePortAndCostsMads) {
+  PerfMgr pmgr(*s.sm);
+  const auto report = pmgr.sweep();
+  EXPECT_EQ(report.sweep_index, 1u);
+  EXPECT_GT(report.ports_polled, 0u);
+  EXPECT_EQ(report.clears, 0u);  // fresh fabric: nothing near saturation
+  // Classic + extended Get per port, nothing else.
+  EXPECT_EQ(report.mads, 2 * report.ports_polled);
+  EXPECT_EQ(report.deltas.size(), report.ports_polled);
+  EXPECT_GT(report.time_us, 0.0);
+}
+
+TEST_F(PerfMgrTest, PollingTrafficIsVisibleInSmpTelemetry) {
+  auto& registry = telemetry::Registry::global();
+  const telemetry::Labels get_labels{{"attribute", "PortCounters"},
+                                     {"method", "Get"},
+                                     {"routing", "lid"}};
+  const auto before =
+      registry.counter_value("ibvs_smp_total", get_labels).value_or(0);
+  PerfMgr pmgr(*s.sm);
+  const auto report = pmgr.sweep();
+  const auto after =
+      registry.counter_value("ibvs_smp_total", get_labels).value_or(0);
+  // One classic Get per polled port landed in the shared MAD telemetry:
+  // monitoring is management traffic, not a free observer.
+  EXPECT_EQ(after - before, report.ports_polled);
+}
+
+TEST_F(PerfMgrTest, SweepDeltasSeeCreditSimTraffic) {
+  PerfMgr pmgr(*s.sm);
+  pmgr.sweep();  // baseline
+
+  const std::size_t packets = 20;
+  const std::uint32_t dwords = 64;
+  std::vector<fabric::FlowSpec> flows{
+      {s.hosts[0], s.fabric.node(s.hosts[1]).lid(), packets, 0, dwords}};
+  const auto sim = fabric::simulate_flows(s.fabric, flows);
+  ASSERT_TRUE(sim.all_delivered());
+
+  const auto report = pmgr.sweep();
+  const auto* src = report.find(s.hosts[0], 1);
+  const auto* dst = report.find(s.hosts[1], 1);
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(dst, nullptr);
+  // The source transmitted at least the flow's packets and dwords (plus the
+  // MAD responses this sweep itself provoked).
+  EXPECT_GE(src->xmit_pkts, packets);
+  EXPECT_GE(src->xmit_data, packets * dwords);
+  EXPECT_GE(dst->rcv_pkts, packets);
+  EXPECT_TRUE(src->from_extended);
+}
+
+TEST_F(PerfMgrTest, SaturatedClassicDeltaIsFlaggedLowerBound) {
+  PerfMgr classic(*s.sm, PerfMgrConfig{.poll_extended = false,
+                                       .clear_fraction = 0.0});
+  classic.sweep();  // baseline
+  auto& c = host_counters(0);
+  c.add_xmit(PortCounters::kMax32, 4);  // pegs xmit_data at its width
+  const auto report = classic.sweep();
+  const auto* d = report.find(s.hosts[0], 1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->saturated);
+  EXPECT_FALSE(d->from_extended);
+  EXPECT_FALSE(d->cleared);  // proactive clearing was disabled
+  // The classic delta stops at the pegged value: a lower bound.
+  EXPECT_LE(d->xmit_data, PortCounters::kMax32);
+}
+
+TEST_F(PerfMgrTest, ExtendedCountersKeepExactDeltasPastSaturation) {
+  PerfMgr extended(*s.sm, PerfMgrConfig{.poll_extended = true,
+                                        .clear_fraction = 0.0});
+  extended.sweep();  // baseline
+  auto& c = host_counters(0);
+  const std::uint64_t ext_before = c.ext_xmit_data;
+  c.add_xmit(PortCounters::kMax32, 1);
+  c.add_xmit(PortCounters::kMax32, 1);  // classic pegged; extended exact
+  const auto report = extended.sweep();
+  const auto* d = report.find(s.hosts[0], 1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->from_extended);
+  EXPECT_TRUE(d->saturated);  // the classic block is still pegged...
+  // ...but the 64-bit delta exceeds what any classic field could report.
+  EXPECT_GE(d->xmit_data, 2 * static_cast<std::uint64_t>(
+                                  PortCounters::kMax32));
+  EXPECT_GE(c.ext_xmit_data - ext_before,
+            2 * static_cast<std::uint64_t>(PortCounters::kMax32));
+}
+
+TEST_F(PerfMgrTest, ProactiveClearFiresPastThresholdAndRestartsDeltas) {
+  PerfMgr pmgr(*s.sm, PerfMgrConfig{.clear_fraction = 0.75});
+  pmgr.sweep();  // baseline
+  auto& c = host_counters(0);
+  c.add_xmit(PortCounters::kMax32, 1);  // pegged: well past 3/4 full
+
+  const auto second = pmgr.sweep();
+  const auto* d = second.find(s.hosts[0], 1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->cleared);
+  EXPECT_GE(second.clears, 1u);
+  // The clear cost one extra MAD on top of the two Gets per port.
+  EXPECT_EQ(second.mads, 2 * second.ports_polled + second.clears);
+  // The classic block really was zeroed on the "hardware".
+  EXPECT_LT(c.xmit_data, PortCounters::kMax32 / 2);
+
+  // Next sweep starts from the cleared block: a small, sane delta (just
+  // this sweep's own MAD responses), not a giant or negative one.
+  const auto third = pmgr.sweep();
+  const auto* d3 = third.find(s.hosts[0], 1);
+  ASSERT_NE(d3, nullptr);
+  EXPECT_FALSE(d3->cleared);
+  EXPECT_LT(d3->xmit_data, 100000u);
+}
+
+TEST_F(PerfMgrTest, ExternalClearBetweenPollsRestartsClassicDelta) {
+  PerfMgr classic(*s.sm, PerfMgrConfig{.poll_extended = false,
+                                       .clear_fraction = 0.0});
+  classic.sweep();  // baseline: history holds the discovery-era counts
+  auto& c = host_counters(0);
+  c.clear_classic();  // someone else's Set(PortCounters)
+  c.add_xmit(64, 3);
+  const auto report = classic.sweep();
+  const auto* d = report.find(s.hosts[0], 1);
+  ASSERT_NE(d, nullptr);
+  // now < prev means cleared-between-polls: the delta restarts from the
+  // new absolute value instead of underflowing.
+  EXPECT_GE(d->xmit_pkts, 3u);
+  EXPECT_LT(d->xmit_pkts, 100u);
+}
+
+TEST_F(PerfMgrTest, ExtendedDeltaSurvivesU64Wraparound) {
+  PerfMgr pmgr(*s.sm, PerfMgrConfig{.clear_fraction = 0.0});
+  auto& c = host_counters(0);
+  c.ext_xmit_pkts = std::numeric_limits<std::uint64_t>::max() - 2;
+  pmgr.sweep();  // history snapshots the near-max value
+  c.ext_xmit_pkts += 8;  // wraps modulo 2^64
+  const auto report = pmgr.sweep();
+  const auto* d = report.find(s.hosts[0], 1);
+  ASSERT_NE(d, nullptr);
+  // Unsigned subtraction across the wrap is exact: 8 plus the couple of
+  // MAD responses this sweep itself sent from the port.
+  EXPECT_GE(d->xmit_pkts, 8u);
+  EXPECT_LT(d->xmit_pkts, 100u);
+}
+
+// --- Paper topologies (large trees env-gated as in the benches) ---
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+std::vector<topology::PaperFatTree> sweep_test_trees() {
+  std::vector<topology::PaperFatTree> trees{topology::PaperFatTree::k324,
+                                            topology::PaperFatTree::k648};
+  if (env_flag("IBVS_FIG7_LARGE") || env_flag("IBVS_FIG7_FULL")) {
+    trees.push_back(topology::PaperFatTree::k5832);
+  }
+  if (env_flag("IBVS_FIG7_FULL")) {
+    trees.push_back(topology::PaperFatTree::k11664);
+  }
+  return trees;
+}
+
+TEST(PerfMgrTopologies, SweepWorksOnPaperFatTrees) {
+  for (const auto which : sweep_test_trees()) {
+    SCOPED_TRACE(topology::to_string(which));
+    auto s = test::PhysicalSubnet::paper_tree(
+        which, routing::EngineKind::kFatTree);
+    s.sm->full_sweep();
+    PerfMgr pmgr(*s.sm);
+    const auto report = pmgr.sweep();
+    // Every host uplink is polled, and switch-to-switch links show up once
+    // per side, so the port count strictly exceeds the host count.
+    EXPECT_GT(report.ports_polled, s.hosts.size());
+    EXPECT_EQ(report.mads, 2 * report.ports_polled);
+    EXPECT_EQ(report.clears, 0u);
+    EXPECT_GT(report.time_us, 0.0);
+  }
+}
+
+// --- Health verdicts on synthetic sweeps ---
+
+perf::SweepReport synthetic_sweep(std::vector<perf::PortDelta> deltas,
+                                  std::uint64_t index = 1) {
+  perf::SweepReport sweep;
+  sweep.sweep_index = index;
+  sweep.ports_polled = deltas.size();
+  sweep.deltas = std::move(deltas);
+  return sweep;
+}
+
+perf::PortDelta delta_for(NodeId node, PortNum port) {
+  perf::PortDelta d;
+  d.node = node;
+  d.port = port;
+  return d;
+}
+
+TEST(HealthMonitorModel, LinkErrorThresholdsClassifyPorts) {
+  HealthMonitor monitor;
+  auto clean = delta_for(1, 1);
+  auto flaky = delta_for(2, 1);
+  flaky.symbol_errors = 3;  // >= degraded, < error
+  auto broken = delta_for(3, 1);
+  broken.symbol_errors = 64;  // >= error threshold
+  auto downed = delta_for(4, 1);
+  downed.link_downed = 1;
+
+  const auto report =
+      monitor.analyze(synthetic_sweep({clean, flaky, broken, downed}));
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_EQ(report.degraded, 1u);
+  EXPECT_EQ(report.errors, 2u);
+  EXPECT_EQ(report.fabric_status(), PortStatus::kError);
+  ASSERT_EQ(report.findings.size(), 3u);
+  EXPECT_EQ(report.findings[0].node, 2u);
+  EXPECT_EQ(report.findings[0].status, PortStatus::kDegraded);
+  EXPECT_NE(report.findings[0].reason.find("symbol errors"),
+            std::string::npos);
+  EXPECT_EQ(report.findings[1].status, PortStatus::kError);
+  EXPECT_NE(report.findings[2].reason.find("link-downed"),
+            std::string::npos);
+}
+
+TEST(HealthMonitorModel, HotspotsAreTopKByXmitWaitDelta) {
+  HealthThresholds thresholds;
+  thresholds.top_k_hotspots = 2;
+  HealthMonitor monitor(thresholds);
+  auto a = delta_for(1, 1);
+  a.xmit_wait = 5;
+  a.xmit_pkts = 1;
+  auto b = delta_for(2, 1);
+  b.xmit_wait = 50;
+  b.xmit_pkts = 1;
+  auto c = delta_for(3, 1);
+  c.xmit_wait = 20;
+  c.xmit_pkts = 1;
+  auto quiet = delta_for(4, 1);
+
+  const auto report = monitor.analyze(synthetic_sweep({a, b, c, quiet}));
+  ASSERT_EQ(report.hotspots.size(), 2u);  // top-k, not all waiting ports
+  EXPECT_EQ(report.hotspots[0].node, 2u);
+  EXPECT_EQ(report.hotspots[0].xmit_wait, 50u);
+  EXPECT_EQ(report.hotspots[1].node, 3u);
+  EXPECT_EQ(report.hotspots[1].xmit_wait, 20u);
+}
+
+TEST(HealthMonitorModel, StuckPortNeedsConsecutiveWedgedSweeps) {
+  HealthMonitor monitor;  // stuck_sweeps = 2
+  auto wedged = delta_for(7, 2);
+  wedged.xmit_wait = 10;
+  wedged.xmit_pkts = 0;
+
+  const auto first = monitor.analyze(synthetic_sweep({wedged}, 1));
+  EXPECT_TRUE(first.stuck.empty());  // one sweep is not a verdict
+  const auto second = monitor.analyze(synthetic_sweep({wedged}, 2));
+  ASSERT_EQ(second.stuck.size(), 1u);
+  EXPECT_EQ(second.stuck[0].node, 7u);
+  EXPECT_EQ(second.stuck[0].port, 2u);
+  EXPECT_EQ(second.fabric_status(), PortStatus::kDegraded);
+
+  // Any sweep where the port moves packets again resets the streak.
+  auto moving = wedged;
+  moving.xmit_pkts = 3;
+  const auto third = monitor.analyze(synthetic_sweep({moving}, 3));
+  EXPECT_TRUE(third.stuck.empty());
+  const auto fourth = monitor.analyze(synthetic_sweep({wedged}, 4));
+  EXPECT_TRUE(fourth.stuck.empty());  // streak restarted from zero
+}
+
+// --- Degraded link end to end: inject -> sweep -> analyze -> SM flag ---
+
+TEST_F(PerfMgrTest, InjectedDegradedLinkReachesSubnetManager) {
+  PerfMgr pmgr(*s.sm);
+  HealthMonitor monitor;
+  monitor.analyze(pmgr.sweep());  // clean baseline
+
+  const NodeId leaf = s.built.host_slots[0].leaf;
+  const PortNum port = s.built.host_slots[0].port;
+  s.fabric.node(leaf).ports[port].counters.add_symbol_errors(12);
+
+  const auto health = monitor.analyze(pmgr.sweep());
+  ASSERT_EQ(health.findings.size(), 1u);
+  EXPECT_EQ(health.findings[0].node, leaf);
+  EXPECT_EQ(health.findings[0].port, port);
+  EXPECT_EQ(health.findings[0].status, PortStatus::kDegraded);
+  EXPECT_EQ(health.fabric_status(), PortStatus::kDegraded);
+
+  const auto text = perf::render_fabric_health(health, s.fabric);
+  EXPECT_NE(text.find("ibvs-fabric-health"), std::string::npos);
+  EXPECT_NE(text.find("DEGRADED"), std::string::npos);
+  EXPECT_NE(text.find("symbol errors"), std::string::npos);
+
+  ASSERT_TRUE(s.sm->degraded_ports().empty());
+  perf::apply_to_sm(*s.sm, health);
+  ASSERT_EQ(s.sm->degraded_ports().size(), 1u);
+  EXPECT_EQ(s.sm->degraded_ports()[0].node, leaf);
+  EXPECT_EQ(s.sm->degraded_ports()[0].port, port);
+  EXPECT_NE(s.sm->degraded_ports()[0].reason.find("symbol errors"),
+            std::string::npos);
+
+  // Re-applying the same finding refreshes, not duplicates.
+  perf::apply_to_sm(*s.sm, health);
+  EXPECT_EQ(s.sm->degraded_ports().size(), 1u);
+}
+
+// --- Migration-impact snapshots through the orchestrator ---
+
+TEST(MigrationImpact, OrchestratorSnapshotsUplinkCountersAroundFlow) {
+  auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
+  s.vsf->boot();
+  cloud::CloudOrchestrator orch(*s.vsf, cloud::Placement::kFirstFit);
+  const auto vms = orch.launch_vms(1);
+
+  // Without a PerfMgr attached, migrations carry no impact measurement.
+  const auto unmeasured = orch.migrate(vms[0], 1);
+  EXPECT_FALSE(unmeasured.impact.has_value());
+
+  PerfMgr pmgr(*s.sm);
+  orch.attach_perf(&pmgr);
+  const std::size_t src_hyp = s.vsf->vm(vms[0]).hypervisor;
+  const std::size_t dst_hyp = 5;
+  const auto report = orch.migrate(vms[0], dst_hyp);
+  ASSERT_TRUE(report.impact.has_value());
+  const auto& impact = *report.impact;
+  // Two snapshots x two uplinks x two PMA attributes.
+  EXPECT_EQ(impact.poll_mads, 8u);
+  EXPECT_EQ(impact.src_before.node, s.hyps[src_hyp].leaf);
+  EXPECT_EQ(impact.src_before.port, s.hyps[src_hyp].leaf_port);
+  EXPECT_EQ(impact.dst_before.node, s.hyps[dst_hyp].leaf);
+  EXPECT_EQ(impact.dst_before.port, s.hyps[dst_hyp].leaf_port);
+  // The migration's own SMPs (detach, LID assign, attach) crossed the two
+  // hypervisor uplinks, so the measured movement is nonzero.
+  EXPECT_GT(impact.src_pkts_delta() + impact.dst_pkts_delta(), 0u);
+  EXPECT_GT(impact.data_dwords_delta(), 0u);
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -17,6 +17,9 @@ TEST(SmpModel, AttributeNames) {
   EXPECT_EQ(to_string(SmpAttribute::kMulticastFwdTable), "MulticastFwdTable");
   EXPECT_EQ(to_string(SmpAttribute::kGuidInfo), "GuidInfo");
   EXPECT_EQ(to_string(SmpAttribute::kVSwitchLidAssign), "VSwitchLidAssign");
+  EXPECT_EQ(to_string(SmpAttribute::kPortCounters), "PortCounters");
+  EXPECT_EQ(to_string(SmpAttribute::kPortCountersExtended),
+            "PortCountersExtended");
 }
 
 TEST(SmpModel, Streaming) {
@@ -51,22 +54,26 @@ TEST(SmpModel, CountersClassifyAndAggregate) {
   record(SmpAttribute::kPortInfo, SmpRouting::kDirected);
   record(SmpAttribute::kGuidInfo, SmpRouting::kLidRouted);
   record(SmpAttribute::kVSwitchLidAssign, SmpRouting::kLidRouted);
+  record(SmpAttribute::kPortCounters, SmpRouting::kLidRouted);
+  record(SmpAttribute::kPortCountersExtended, SmpRouting::kLidRouted);
 
-  EXPECT_EQ(counters.total, 7u);
+  EXPECT_EQ(counters.total, 9u);
   EXPECT_EQ(counters.lft_block_writes, 1u);
   EXPECT_EQ(counters.mft_block_writes, 1u);
   EXPECT_EQ(counters.discovery, 2u);
   EXPECT_EQ(counters.port_info, 1u);
   EXPECT_EQ(counters.guid_info, 1u);
   EXPECT_EQ(counters.vf_lid_assign, 1u);
+  EXPECT_EQ(counters.perf_mgmt, 2u);
   EXPECT_EQ(counters.directed, 4u);
-  EXPECT_EQ(counters.lid_routed, 3u);
+  EXPECT_EQ(counters.lid_routed, 5u);
 
   SmpCounters sum;
   sum += counters;
   sum += counters;
-  EXPECT_EQ(sum.total, 14u);
+  EXPECT_EQ(sum.total, 18u);
   EXPECT_EQ(sum.lft_block_writes, 2u);
+  EXPECT_EQ(sum.perf_mgmt, 4u);
   EXPECT_EQ(sum.directed, 8u);
 }
 

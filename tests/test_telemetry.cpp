@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -180,8 +182,43 @@ TEST(Registry, PrometheusHistogramExposition) {
       "lat_us_bucket{le=\"2\"} 1\n"
       "lat_us_bucket{le=\"+Inf\"} 2\n"
       "lat_us_sum 3.5\n"
-      "lat_us_count 2\n";
+      "lat_us_count 2\n"
+      "lat_us{quantile=\"0.5\"} 1\n"
+      "lat_us{quantile=\"0.95\"} 2\n"
+      "lat_us{quantile=\"0.99\"} 2\n";
   EXPECT_EQ(registry.prometheus_text(), expected);
+}
+
+TEST(Histogram, QuantileEstimation) {
+  Registry registry;
+  Histogram& h = registry.histogram(
+      "q", {}, HistogramOptions{.min_bound = 1.0, .num_buckets = 4});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  // Bounds 1,2,4,8: four observations in (2,4], so every quantile
+  // interpolates linearly inside that bucket.
+  for (int i = 0; i < 4; ++i) h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);   // rank 2 of 4 -> midpoint
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);   // upper edge of the bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);  // rank 1 of 4
+}
+
+TEST(Histogram, QuantileOverflowClampsToLastBound) {
+  Registry registry;
+  Histogram& h = registry.histogram(
+      "q", {}, HistogramOptions{.min_bound = 1.0, .num_buckets = 2});
+  h.observe(100.0);  // lands beyond the last finite bound (2)
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, QuantilesInJsonSnapshot) {
+  Registry registry;
+  Histogram& h = registry.histogram(
+      "q", {}, HistogramOptions{.min_bound = 1.0, .num_buckets = 4});
+  for (int i = 0; i < 4; ++i) h.observe(3.0);
+  const std::string snapshot = registry.json_snapshot();
+  EXPECT_NE(snapshot.find("\"quantiles\":{\"p50\":3,\"p95\":3.9,\"p99\":3.98}"),
+            std::string::npos);
 }
 
 TEST(Registry, JsonSnapshotGolden) {
@@ -330,6 +367,31 @@ TEST(Tracer, DumpJsonlMatchesFinished) {
   EXPECT_NE(dump.find("\"two\""), std::string::npos);
   tracer.clear();
   EXPECT_TRUE(tracer.finished().empty());
+}
+
+TEST(Tracer, FlushToFileWritesJsonLines) {
+  Tracer tracer;
+  { auto span = tracer.span("flushed-op", {{"k", "v"}}); }
+  const std::string path =
+      testing::TempDir() + "ibvs_trace_flush_test.jsonl";
+  ASSERT_TRUE(tracer.flush_to_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"name\":\"flushed-op\""), std::string::npos);
+  EXPECT_NE(line.find("\"attrs\":{\"k\":\"v\"}"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));  // exactly one span, one line
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, FlushToFileRefusesWhenEmpty) {
+  Tracer tracer;  // no spans recorded
+  const std::string path =
+      testing::TempDir() + "ibvs_trace_flush_empty.jsonl";
+  EXPECT_FALSE(tracer.flush_to_file(path));
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());  // no file created for an empty trace
 }
 
 TEST(Tracer, SpansFromPoolThreadsGetDistinctThreadIds) {
