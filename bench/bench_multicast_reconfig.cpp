@@ -18,6 +18,8 @@ namespace {
 
 using namespace ibvs;
 
+std::uint64_t g_seed = 12;  ///< default; override with --seed
+
 void print_table() {
   std::printf(
       "\nMulticast reconfiguration around live migration (virtualized "
@@ -33,7 +35,7 @@ void print_table() {
 
   // Three groups with overlapping membership across the fabric.
   std::vector<Lid> groups;
-  SplitMix64 rng(12);
+  SplitMix64 rng(g_seed);
   for (int g = 0; g < 3; ++g) {
     const Lid mlid = mc.create_group(Guid{0xD000u + g});
     groups.push_back(mlid);
@@ -115,6 +117,7 @@ BENCHMARK(BM_McTreeRecompute)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

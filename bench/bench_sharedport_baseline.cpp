@@ -17,6 +17,8 @@ namespace {
 
 using namespace ibvs;
 
+std::uint64_t g_seed = 17;  ///< default; override with --seed
+
 struct SharedPortOutcome {
   std::size_t migrations = 0;
   std::size_t lid_changes = 0;
@@ -53,7 +55,7 @@ SharedPortOutcome run_shared_port(bool emulate_lid_migration) {
   }
 
   SharedPortOutcome outcome;
-  SplitMix64 rng(17);
+  SplitMix64 rng(g_seed);
   for (int i = 0; i < 40; ++i) {
     const auto id = vms[rng.below(vms.size())];
     const auto current = sp.vm(id).hypervisor;
@@ -86,7 +88,7 @@ VSwitchOutcome run_vswitch(core::LidScheme scheme) {
   for (const auto& h : b.hyps) pfs.push_back(h.pf);
 
   VSwitchOutcome outcome;
-  SplitMix64 rng(17);
+  SplitMix64 rng(g_seed);
   for (int i = 0; i < 40; ++i) {
     const auto vm = vms[rng.below(vms.size())];
     const Lid before = b.vsf->vm(vm).lid;
@@ -169,6 +171,7 @@ BENCHMARK(BM_SharedPortMigration);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

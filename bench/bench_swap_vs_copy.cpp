@@ -19,6 +19,8 @@ namespace {
 
 using namespace ibvs;
 
+std::uint64_t g_seed = 99;  ///< default; override with --seed
+
 struct Stats {
   std::uint64_t migrations = 0;
   std::uint64_t same_block = 0;   // m' = 1 everywhere
@@ -33,7 +35,7 @@ struct Stats {
 Stats run_workload(core::LidScheme scheme, core::ReconfigMode mode,
                    bool drain) {
   auto b = bench::VirtualBench::make(scheme, 18, 4);
-  SplitMix64 rng(99);
+  SplitMix64 rng(g_seed);
   std::vector<core::VmHandle> vms;
   for (int i = 0; i < 24; ++i) vms.push_back(b.vsf->create_vm().vm);
 
@@ -130,6 +132,7 @@ BENCHMARK(BM_MigrateCopy)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -19,6 +19,8 @@ namespace {
 
 using namespace ibvs;
 
+std::uint64_t g_seed = 5;  ///< default; override with --seed
+
 void print_closed_form() {
   std::printf(
       "\nTable I — SMPs required to update the LFTs of all switches\n");
@@ -83,7 +85,7 @@ void simulate_migration_smps() {
   for (const auto scheme :
        {core::LidScheme::kPrepopulated, core::LidScheme::kDynamic}) {
     auto b = bench::VirtualBench::make(scheme, 18, 4);
-    SplitMix64 rng(5);
+    SplitMix64 rng(g_seed);
     std::vector<core::VmHandle> vms;
     for (int i = 0; i < 18; ++i) vms.push_back(b.vsf->create_vm().vm);
     std::uint64_t min_smps = ~0ull;
@@ -135,6 +137,7 @@ BENCHMARK(BM_FullSweepDistribution)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
   print_closed_form();
   std::printf("Simulation cross-check:\n");
   simulate_tree(topology::PaperFatTree::k324);

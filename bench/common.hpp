@@ -9,6 +9,7 @@
 //                      dominated by DFSSSP/LASH — exactly as in the paper)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -64,6 +65,23 @@ inline std::optional<std::string> consume_metrics_out(int& argc,
 /// `--trace-out <file>`: where to dump the span trace as JSON lines.
 inline std::optional<std::string> consume_trace_out(int& argc, char** argv) {
   return consume_flag_value(argc, argv, "--trace-out");
+}
+
+/// `--seed <n>`: overrides a bench's default RNG seed so randomized
+/// workloads (migration pairs, chaos event streams) can be varied — and
+/// replayed — from the command line. Returns `fallback` when absent.
+inline std::uint64_t consume_seed(int& argc, char** argv,
+                                  std::uint64_t fallback) {
+  const auto value = consume_flag_value(argc, argv, "--seed");
+  if (!value) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 0);
+  if (end == value->c_str() || *end != '\0') {
+    std::fprintf(stderr, "error: --seed wants an integer, got '%s'\n",
+                 value->c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 /// Dumps the global registry's JSON snapshot to `path` ("-" for stdout) so

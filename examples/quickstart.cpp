@@ -4,6 +4,7 @@
 //   $ ./examples/quickstart
 //   $ ./examples/quickstart --metrics   # also dump the telemetry registry
 //   $ ./examples/quickstart --health    # PerfMgr sweep + fabric health report
+//   $ ./examples/quickstart --chaos     # seeded fault injection + recovery
 //
 // This walks the library's main concepts in ~80 lines:
 //   Fabric + topology builders  -> the physical subnet
@@ -20,6 +21,7 @@
 #include "core/virtualizer.hpp"
 #include "core/vswitch.hpp"
 #include "fabric/trace.hpp"
+#include "inject/chaos.hpp"
 #include "perf/health.hpp"
 #include "perf/perf_mgr.hpp"
 #include "sm/subnet_manager.hpp"
@@ -31,9 +33,11 @@ using namespace ibvs;
 int main(int argc, char** argv) {
   bool show_metrics = false;
   bool show_health = false;
+  bool run_chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) show_metrics = true;
     if (std::strcmp(argv[i], "--health") == 0) show_health = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) run_chaos = true;
   }
   // 1. A small 2-level fat-tree: 4 leaves x 2 spines, 3 host slots each.
   Fabric fabric;
@@ -120,11 +124,45 @@ int main(int argc, char** argv) {
     health_ok = !health.findings.empty() && !smgr.degraded_ports().empty();
   }
 
-  // 11. Everything above also updated the process-wide telemetry registry:
+  // 11. --chaos: a fresh subnet takes seeded abuse — link cuts, flaps, a
+  //     switch death, live migrations — with a lossy MAD plane (2% drops
+  //     force the transport's retry/backoff machinery). After every event
+  //     the SM re-converges and the FabricChecker proves the fabric is
+  //     back in a consistent state. Min-hop routing: unlike the fat-tree
+  //     engine it survives arbitrarily degraded topologies.
+  bool chaos_ok = true;
+  if (run_chaos) {
+    Fabric chaos_fabric;
+    const auto chaos_built = topology::build_two_level_fat_tree(
+        chaos_fabric, topology::TwoLevelParams{.num_leaves = 4,
+                                               .num_spines = 2,
+                                               .hosts_per_leaf = 3,
+                                               .radix = 12});
+    const auto chaos_hyps = core::attach_hypervisors(
+        chaos_fabric, chaos_built.host_slots, /*num_vfs=*/2, /*count=*/8);
+    const NodeId chaos_sm = chaos_fabric.add_ca("sm-node");
+    chaos_fabric.connect(chaos_sm, 1, chaos_built.host_slots[8].leaf,
+                         chaos_built.host_slots[8].port);
+    sm::SubnetManager chaos_smgr(
+        chaos_fabric, chaos_sm,
+        routing::make_engine(routing::EngineKind::kMinHop));
+    core::VSwitchFabric chaos_cloud(chaos_smgr, chaos_hyps,
+                                    core::LidScheme::kDynamic);
+    const auto report = inject::run_chaos(chaos_cloud, /*seed=*/5,
+                                          /*steps=*/16);
+    std::printf("\n--- chaos (seed=5, 2%% MAD drop probability) ---\n%s",
+                inject::to_string(report).c_str());
+    chaos_ok = report.checker_violations == 0 && report.all_converged;
+    std::printf("chaos verdict: %s\n",
+                chaos_ok ? "fabric recovered after every event"
+                         : "INVARIANT VIOLATIONS");
+  }
+
+  // 12. Everything above also updated the process-wide telemetry registry:
   //     SMPs by {attribute, method, routing}, sweep phases, reconfig kinds.
   if (show_metrics) {
     std::printf("\n--- telemetry (Prometheus exposition) ---\n%s",
                 telemetry::Registry::global().prometheus_text().c_str());
   }
-  return trace.delivered() && health_ok ? 0 : 1;
+  return trace.delivered() && health_ok && chaos_ok ? 0 : 1;
 }

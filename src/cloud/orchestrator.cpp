@@ -44,15 +44,27 @@ CloudOrchestrator::CloudOrchestrator(core::VSwitchFabric& fabric,
                                      Placement placement, FlowTiming timing)
     : fabric_(fabric), placement_(placement), timing_(timing) {}
 
+bool CloudOrchestrator::hypervisor_attached(std::size_t h) const {
+  const auto& hyp = fabric_.hypervisors()[h];
+  return fabric_.subnet_manager()
+      .fabric()
+      .physical_attachment(hyp.pf)
+      .has_value();
+}
+
 std::optional<std::size_t> CloudOrchestrator::pick_hypervisor() {
   const auto& hyps = fabric_.hypervisors();
   switch (placement_) {
-    case Placement::kFirstFit:
-      return fabric_.find_free_hypervisor();
+    case Placement::kFirstFit: {
+      for (std::size_t h = 0; h < hyps.size(); ++h) {
+        if (fabric_.free_vf_on(h) && hypervisor_attached(h)) return h;
+      }
+      return std::nullopt;
+    }
     case Placement::kRoundRobin: {
       for (std::size_t tried = 0; tried < hyps.size(); ++tried) {
         const std::size_t h = (rr_next_ + tried) % hyps.size();
-        if (fabric_.free_vf_on(h)) {
+        if (fabric_.free_vf_on(h) && hypervisor_attached(h)) {
           rr_next_ = (h + 1) % hyps.size();
           return h;
         }
@@ -63,7 +75,7 @@ std::optional<std::size_t> CloudOrchestrator::pick_hypervisor() {
       std::optional<std::size_t> best;
       std::size_t best_used = std::numeric_limits<std::size_t>::max();
       for (std::size_t h = 0; h < hyps.size(); ++h) {
-        if (!fabric_.free_vf_on(h)) continue;
+        if (!fabric_.free_vf_on(h) || !hypervisor_attached(h)) continue;
         std::size_t used = 0;
         for (std::uint32_t id : fabric_.active_vm_ids()) {
           if (fabric_.vm(core::VmHandle{id}).hypervisor == h) ++used;

@@ -107,6 +107,9 @@ class CloudOrchestrator {
 
   [[nodiscard]] const FlowTiming& timing() const noexcept { return timing_; }
 
+  /// The vSwitch fabric this orchestrator drives.
+  [[nodiscard]] core::VSwitchFabric& fabric() noexcept { return fabric_; }
+
   /// Attaches a PerfMgr: every subsequent migrate() snapshots the source
   /// and destination hypervisor uplink counters (PMA reads) right before
   /// and after the flow and reports the measured traffic impact. nullptr
@@ -115,6 +118,9 @@ class CloudOrchestrator {
 
  private:
   std::optional<std::size_t> pick_hypervisor();
+  /// Placement only considers hypervisors whose PF is physically attached:
+  /// a host whose uplink (or leaf) is down cannot receive a VM.
+  [[nodiscard]] bool hypervisor_attached(std::size_t h) const;
 
   core::VSwitchFabric& fabric_;
   Placement placement_;

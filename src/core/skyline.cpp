@@ -47,6 +47,35 @@ std::vector<routing::SwitchIdx> minimal_update_set(
     return false;  // loop
   };
 
+  // Starts from which even the fully-new routing does not deliver (e.g. a
+  // switch severed from the destination on a degraded fabric, whose entry
+  // is legitimately kDropPort) are outside what any update set can fix;
+  // the fixpoint must not demand delivery from them.
+  std::vector<bool> delivers_when_new(s_count, false);
+  {
+    const auto trace_new = [&](routing::SwitchIdx start) {
+      routing::SwitchIdx x = start;
+      std::size_t guard = 0;
+      while (guard++ <= s_count) {
+        const PortNum port = delta.new_entry[x];
+        if (x == new_attach_sw && port == new_attach_port) return true;
+        const std::uint32_t e = graph.edge_of(x, port);
+        if (port == kDropPort || e == routing::SwitchGraph::kNoEdge) {
+          return false;
+        }
+        x = graph.edges[e].to;
+      }
+      return false;
+    };
+    for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+      delivers_when_new[s] = trace_new(s);
+    }
+    // The attachment switch must deliver under the new entries — if even
+    // it cannot, the delta is bogus, not merely degraded.
+    IBVS_ENSURE(delivers_when_new[new_attach_sw],
+                "route cannot be repaired: new entries do not deliver");
+  }
+
   // Fixpoint: each round repairs at least one switch, so it terminates in at
   // most |changed| rounds.
   for (;;) {
@@ -54,6 +83,7 @@ std::vector<routing::SwitchIdx> minimal_update_set(
     bool repaired = false;
     for (routing::SwitchIdx start = 0; start < s_count && !repaired;
          ++start) {
+      if (!delivers_when_new[start]) continue;
       if (trace(start)) continue;
       all_ok = false;
       // Repair as close to the failure point as possible (the last switch

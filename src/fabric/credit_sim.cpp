@@ -92,10 +92,11 @@ class Simulator {
         packet.dwords = src.spec.packet_dwords;
         packet.blocked_since = step;
         count_link_crossing(channels_[src.first_channel], packet);
-        fifo.push_back(packet);
         ++src.sent;
-        ++in_flight;
         moved = true;
+        if (crossing_faulted(channels_[src.first_channel])) continue;
+        fifo.push_back(packet);
+        ++in_flight;
       }
 
       // 2. Advance head-of-line packets (one per channel FIFO per step).
@@ -141,6 +142,12 @@ class Simulator {
           if (next_fifo.size() < config_.credits_per_channel) {
             packet.blocked_since = step;
             count_link_crossing(channels_[next], packet);
+            if (crossing_faulted(channels_[next])) {
+              fifo.pop_front();
+              --in_flight;
+              moved = true;
+              continue;
+            }
             next_fifo.push_back(packet);
             fifo.pop_front();
             moved = true;
@@ -196,6 +203,19 @@ class Simulator {
     fabric_.node(ch.from).ports[ch.from_port].counters.add_xmit(
         packet.dwords);
     fabric_.node(ch.to).ports[ch.to_port].counters.add_rcv(packet.dwords);
+  }
+
+  /// Asks the fault plane whether this crossing lost the packet; a drop
+  /// ticks a symbol error at the receiving port and is tallied.
+  bool crossing_faulted(const Channel& ch) {
+    if (config_.faults == nullptr) return false;
+    if (!config_.faults->drop_on_link(ch.from, ch.from_port, ch.to,
+                                      ch.to_port)) {
+      return false;
+    }
+    fabric_.node(ch.to).ports[ch.to_port].counters.add_symbol_errors();
+    ++report_.dropped_faulted;
+    return true;
   }
 
   std::uint32_t next_channel(const Node& here, const Channel& arrived,

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "fabric/fault.hpp"
 #include "ib/fabric.hpp"
 
 namespace ibvs::fabric {
@@ -43,6 +44,10 @@ struct CreditSimConfig {
   /// Invoked at the start of every step; may mutate installed LFTs (e.g.
   /// apply a reconfiguration mid-flight).
   std::function<void(std::uint64_t step)> on_step;
+  /// Optional fault plane (src/inject): consulted per link crossing; a
+  /// dropped crossing loses the packet and ticks a symbol error at the
+  /// receiver. Jitter is ignored — the simulator is step-, not time-based.
+  LinkFaultModel* faults = nullptr;
 };
 
 struct CreditSimReport {
@@ -53,12 +58,13 @@ struct CreditSimReport {
   std::size_t delivered = 0;
   std::size_t dropped_timeout = 0;
   std::size_t dropped_unrouted = 0;  ///< hit a drop entry / wrong delivery
+  std::size_t dropped_faulted = 0;   ///< lost on an injected-faulty link
   std::size_t stuck = 0;             ///< packets still in-network at the end
 
   [[nodiscard]] bool all_delivered() const noexcept {
     return !deadlocked && !exhausted && stuck == 0 &&
            dropped_timeout == 0 && dropped_unrouted == 0 &&
-           delivered == injected;
+           dropped_faulted == 0 && delivered == injected;
   }
 };
 

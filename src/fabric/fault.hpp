@@ -1,0 +1,30 @@
+// Link-level fault hook shared by the management and data planes.
+//
+// The transport (SMP/MAD delivery) and the credit simulator (data packets)
+// both move traffic link by link; a LinkFaultModel lets an external fault
+// plane — src/inject's deterministic injector — decide, per traversal,
+// whether the unit is lost and how much extra latency the link adds. The
+// interface lives here (not in src/inject) so fabric-level code depends only
+// on the hook, never on the injector: a null model costs one pointer check.
+#pragma once
+
+#include "ib/types.hpp"
+
+namespace ibvs::fabric {
+
+class LinkFaultModel {
+ public:
+  virtual ~LinkFaultModel() = default;
+
+  /// Is this traversal — leaving `from`/`from_port`, arriving at
+  /// `to`/`to_port` — lost on the wire? Called once per unit per link per
+  /// direction; implementations draw from their own deterministic RNG.
+  virtual bool drop_on_link(NodeId from, PortNum from_port, NodeId to,
+                            PortNum to_port) = 0;
+
+  /// Extra one-way latency this traversal suffers, in microseconds.
+  virtual double jitter_us(NodeId from, PortNum from_port, NodeId to,
+                           PortNum to_port) = 0;
+};
+
+}  // namespace ibvs::fabric

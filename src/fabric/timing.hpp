@@ -27,12 +27,28 @@ struct TimingModel {
   /// Endpoint response turnaround (Get/Set ack processing at the target).
   double target_processing_us = 2.0;
 
+  // --- Reliable-MAD semantics (OpenSM: MADs are unreliable datagrams; the
+  // --- sender arms a response timer and resends a bounded number of times).
+  /// How long the SM waits for a response before declaring the attempt lost.
+  double response_timeout_us = 100.0;
+  /// Resends after the first attempt (OpenSM default: 3 retries).
+  unsigned max_mad_retries = 3;
+  /// Each successive timeout waits this factor longer (exponential backoff).
+  double retry_backoff = 2.0;
+
   /// One-way latency of an SMP over `hops` hops.
   [[nodiscard]] double smp_latency_us(std::size_t hops,
                                       bool directed) const noexcept {
     const double per_hop =
         hop_latency_us + (directed ? directed_hop_overhead_us : 0.0);
     return static_cast<double>(hops) * per_hop + target_processing_us;
+  }
+
+  /// Response timeout armed for attempt `attempt` (0 = the first send).
+  [[nodiscard]] double retry_timeout_us(unsigned attempt) const noexcept {
+    double timeout = response_timeout_us;
+    for (unsigned i = 0; i < attempt; ++i) timeout *= retry_backoff;
+    return timeout;
   }
 };
 

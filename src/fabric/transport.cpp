@@ -50,21 +50,96 @@ void SmpTransport::recompute_hops() {
   hops_valid_ = true;
 }
 
-void SmpTransport::attribute_path_counters(NodeId target) {
-  // Request and response each cross every link of the BFS path once, so
-  // every port on it transmits one MAD and receives one.
+bool SmpTransport::collect_path(NodeId target) {
+  scratch_path_.clear();
   NodeId at = target;
   while (at != sm_node_ && at != kInvalidNode) {
     const Via& via = via_[at];
-    if (via.parent == kInvalidNode) break;  // stale cache entry; stop
-    const Port& down = fabric_.node(via.parent).ports[via.parent_port];
-    const Port& up = fabric_.node(at).ports[via.ingress];
-    down.counters.add_xmit(kMadDwords);
-    down.counters.add_rcv(kMadDwords);
-    up.counters.add_xmit(kMadDwords);
-    up.counters.add_rcv(kMadDwords);
+    if (via.parent == kInvalidNode) return false;  // stale cache entry
+    scratch_path_.push_back(
+        PathLink{via.parent, via.parent_port, at, via.ingress});
     at = via.parent;
   }
+  std::reverse(scratch_path_.begin(), scratch_path_.end());
+  return true;
+}
+
+telemetry::Counter& SmpTransport::reliability_counter(
+    telemetry::Counter*& slot, std::string_view name,
+    std::string_view help) {
+  if (slot == nullptr) {
+    slot = &telemetry::Registry::global().counter(name, {}, help);
+  }
+  return *slot;
+}
+
+void SmpTransport::run_attempts(const Smp& smp, SendOutcome& outcome) {
+  const bool directed = smp.routing == SmpRouting::kDirected;
+  const double clean_latency_us =
+      timing_.smp_latency_us(outcome.hops, directed);
+  const unsigned max_attempts =
+      fault_model_ == nullptr ? 1 : 1 + timing_.max_mad_retries;
+
+  outcome.attempts = 0;
+  outcome.timeouts = 0;
+  outcome.latency_us = 0.0;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    ++outcome.attempts;
+    double jitter_us = 0.0;
+    bool lost = false;
+    // Request direction: SM -> target. Each traversal ticks the PMA
+    // counters of both ports; a dropped traversal shows up as a symbol
+    // error at the receiver (the corrupted MAD never reaches the node).
+    for (const PathLink& link : scratch_path_) {
+      const Port& egress = fabric_.node(link.parent).ports[link.parent_port];
+      const Port& ingress = fabric_.node(link.child).ports[link.child_port];
+      egress.counters.add_xmit(kMadDwords);
+      ingress.counters.add_rcv(kMadDwords);
+      if (fault_model_ != nullptr &&
+          fault_model_->drop_on_link(link.parent, link.parent_port,
+                                     link.child, link.child_port)) {
+        ingress.counters.add_symbol_errors();
+        lost = true;
+        break;
+      }
+      if (fault_model_ != nullptr) {
+        jitter_us += fault_model_->jitter_us(link.parent, link.parent_port,
+                                             link.child, link.child_port);
+      }
+    }
+    // Response direction: target -> SM, same links in reverse.
+    if (!lost) {
+      for (auto it = scratch_path_.rbegin(); it != scratch_path_.rend();
+           ++it) {
+        const Port& egress = fabric_.node(it->child).ports[it->child_port];
+        const Port& ingress =
+            fabric_.node(it->parent).ports[it->parent_port];
+        egress.counters.add_xmit(kMadDwords);
+        ingress.counters.add_rcv(kMadDwords);
+        if (fault_model_ != nullptr &&
+            fault_model_->drop_on_link(it->child, it->child_port, it->parent,
+                                       it->parent_port)) {
+          ingress.counters.add_symbol_errors();
+          lost = true;
+          break;
+        }
+        if (fault_model_ != nullptr) {
+          jitter_us += fault_model_->jitter_us(it->child, it->child_port,
+                                               it->parent, it->parent_port);
+        }
+      }
+    }
+    if (!lost) {
+      outcome.delivered = true;
+      outcome.latency_us += clean_latency_us + jitter_us;
+      return;
+    }
+    // Attempt lost (either direction): the SM learns nothing until the
+    // response timer fires, then backs off and resends.
+    ++outcome.timeouts;
+    outcome.latency_us += timing_.retry_timeout_us(attempt);
+  }
+  outcome.delivered = false;  // retries exhausted
 }
 
 std::optional<std::size_t> SmpTransport::hops_to(NodeId target) {
@@ -79,21 +154,49 @@ SendOutcome SmpTransport::account(const Smp& smp,
   counters_.record(smp);
   smp_counter(smp).inc();
   SendOutcome outcome;
-  if (!hops) {  // undeliverable: counted, zero progress
-    if (undeliverable_counter_ == nullptr) {
-      undeliverable_counter_ = &telemetry::Registry::global().counter(
-          "ibvs_smp_undeliverable_total", {},
-          "SMPs addressed to nodes the SM cannot reach");
-    }
-    undeliverable_counter_->inc();
+  if (!hops) {  // no path at all: counted, zero progress
+    ++counters_.undeliverable;
+    reliability_counter(undeliverable_counter_,
+                        "ibvs_smp_undeliverable_total",
+                        "SMPs the SM gave up on (no path, or every retry "
+                        "timed out)")
+        .inc();
     return outcome;
   }
-  outcome.delivered = true;
   outcome.hops = *hops;
   if (!hops_valid_) recompute_hops();
-  if (smp.target < via_.size()) attribute_path_counters(smp.target);
-  outcome.latency_us =
-      timing_.smp_latency_us(*hops, smp.routing == SmpRouting::kDirected);
+  const bool have_path =
+      smp.target < via_.size() && collect_path(smp.target);
+  if (have_path) {
+    run_attempts(smp, outcome);
+  } else {
+    // Target is the SM node itself (empty path) or the cache is stale:
+    // deliver at the modeled latency without per-link accounting.
+    outcome.delivered = true;
+    outcome.latency_us = timing_.smp_latency_us(
+        *hops, smp.routing == SmpRouting::kDirected);
+  }
+  if (outcome.attempts > 1) {
+    counters_.retries += outcome.attempts - 1;
+    reliability_counter(retries_counter_, "ibvs_smp_retries_total",
+                        "MAD resends after a response timeout")
+        .inc(outcome.attempts - 1);
+  }
+  if (outcome.timeouts > 0) {
+    counters_.timeouts += outcome.timeouts;
+    reliability_counter(timeouts_counter_, "ibvs_smp_timeouts_total",
+                        "MAD response timeouts (lost request or response)")
+        .inc(outcome.timeouts);
+  }
+  if (!outcome.delivered) {
+    // Retries exhausted: the time spent waiting still accrues.
+    ++counters_.undeliverable;
+    reliability_counter(undeliverable_counter_,
+                        "ibvs_smp_undeliverable_total",
+                        "SMPs the SM gave up on (no path, or every retry "
+                        "timed out)")
+        .inc();
+  }
   if (latency_histogram_ == nullptr) {
     latency_histogram_ = &telemetry::Registry::global().histogram(
         "ibvs_smp_latency_us", {},

@@ -6,14 +6,22 @@
 // actually install the block into the target switch's hardware table, so the
 // simulated fabric's data path (see trace.hpp) reflects exactly what an SM
 // has distributed — including the transient states mid-reconfiguration.
+//
+// MADs are unreliable datagrams. With a LinkFaultModel attached (see
+// fault.hpp) the transport models OpenSM's answer to that: every send arms
+// a response timeout, lost attempts are resent with exponential backoff,
+// and the timeouts are priced into the same batched timing model, so a
+// degraded fabric is visibly slower to reconfigure — not just lossier.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "fabric/fault.hpp"
 #include "fabric/timing.hpp"
 #include "ib/fabric.hpp"
 #include "ib/smp.hpp"
@@ -21,11 +29,15 @@
 
 namespace ibvs::fabric {
 
-/// Result of one send.
+/// Result of one logical send. With a fault model attached one send may
+/// cost several wire attempts; `latency_us` then includes the response
+/// timeouts spent before the attempt that got through (or gave up).
 struct SendOutcome {
   bool delivered = false;
   std::size_t hops = 0;
   double latency_us = 0.0;
+  std::uint32_t attempts = 1;  ///< wire attempts (1 + resends)
+  std::uint32_t timeouts = 0;  ///< attempts whose response timer fired
 };
 
 class SmpTransport {
@@ -39,6 +51,20 @@ class SmpTransport {
 
   /// Must be called after cabling changes so hop counts are recomputed.
   void invalidate_topology() noexcept { hops_valid_ = false; }
+
+  /// Attaches a fault model consulted per link traversal of every MAD
+  /// (request and response direction). While attached, sends follow
+  /// OpenSM's unreliable-datagram semantics: a lost traversal costs a
+  /// response timeout, the SM resends up to `timing().max_mad_retries`
+  /// times with exponential backoff, and a send whose every attempt is
+  /// lost comes back undelivered. nullptr detaches (the default: every
+  /// MAD arrives on the first attempt, as before).
+  void set_fault_model(LinkFaultModel* model) noexcept {
+    fault_model_ = model;
+  }
+  [[nodiscard]] LinkFaultModel* fault_model() const noexcept {
+    return fault_model_;
+  }
 
   /// Hop count from the SM node to `target` (through switches/vSwitches).
   [[nodiscard]] std::optional<std::size_t> hops_to(NodeId target);
@@ -103,27 +129,46 @@ class SmpTransport {
   void reset_time() noexcept { total_us_ = 0.0; }
 
  private:
+  /// One directed step of the SM->target BFS path.
+  struct PathLink {
+    NodeId parent = kInvalidNode;
+    PortNum parent_port = 0;  ///< egress at the parent (towards the target)
+    NodeId child = kInvalidNode;
+    PortNum child_port = 0;  ///< ingress at the child
+  };
+
   SendOutcome account(const Smp& smp, std::optional<std::size_t> hops);
   void recompute_hops();
-  /// Bumps the PMA counters of every port the MAD (and its response)
-  /// traverses, walking the cached BFS tree from `target` back to the SM.
-  void attribute_path_counters(NodeId target);
+  /// Collects the BFS path SM -> `target` into `scratch_path_` (SM-side
+  /// link first). Returns false on a stale cache entry.
+  bool collect_path(NodeId target);
+  /// Runs the wire attempts for one MAD over `scratch_path_`, ticking PMA
+  /// traffic counters per traversal and symbol errors where the fault
+  /// model drops. Fills delivery, attempts, timeouts and latency.
+  void run_attempts(const Smp& smp, SendOutcome& outcome);
   /// Registry counter for this SMP shape, resolved once per (attribute,
   /// method, routing) combination and cached — account() stays lock-free
   /// after the first SMP of each shape.
   telemetry::Counter& smp_counter(const Smp& smp);
+  telemetry::Counter& reliability_counter(telemetry::Counter*& slot,
+                                          std::string_view name,
+                                          std::string_view help);
 
   Fabric& fabric_;
   NodeId sm_node_;
   TimingModel timing_;
   SmpCounters counters_;
   double total_us_ = 0.0;
+  LinkFaultModel* fault_model_ = nullptr;
 
   /// Cache indexed by (attribute, method, routing); see smp_counter().
   static constexpr std::size_t kNumAttributes = 9;
   std::array<telemetry::Counter*, kNumAttributes * 2 * 2> smp_counters_{};
   telemetry::Counter* undeliverable_counter_ = nullptr;
+  telemetry::Counter* retries_counter_ = nullptr;
+  telemetry::Counter* timeouts_counter_ = nullptr;
   telemetry::Histogram* latency_histogram_ = nullptr;
+  std::vector<PathLink> scratch_path_;  ///< reused per send
 
   // Hop cache (BFS from the SM node over all cabled nodes), plus the BFS
   // tree itself so MAD traffic can be attributed to the ports it crosses.

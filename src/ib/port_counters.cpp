@@ -7,7 +7,7 @@ bool PortCounters::any_classic_saturated() const noexcept {
          xmit_pkts == kMax32 || rcv_pkts == kMax32 || xmit_wait == kMax32 ||
          symbol_errors == kMax16 || xmit_discards == kMax16 ||
          rcv_errors == kMax16 || congestion_marks == kMax16 ||
-         link_downed == kMax8;
+         link_downed == kMax8 || link_error_recovery == kMax8;
 }
 
 void PortCounters::clear_classic() noexcept {
@@ -21,6 +21,7 @@ void PortCounters::clear_classic() noexcept {
   rcv_errors = 0;
   congestion_marks = 0;
   link_downed = 0;
+  link_error_recovery = 0;
 }
 
 }  // namespace ibvs

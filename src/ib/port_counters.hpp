@@ -39,6 +39,7 @@ struct PortCounters {
   std::uint16_t rcv_errors = 0;      ///< unroutable / misdelivered arrivals
   std::uint16_t congestion_marks = 0;  ///< FECN-style marks applied here
   std::uint8_t link_downed = 0;      ///< times the link went down
+  std::uint8_t link_error_recovery = 0;  ///< times the link retrained/came back
   // --- Extended (64-bit, non-saturating). ---
   std::uint64_t ext_xmit_data = 0;
   std::uint64_t ext_rcv_data = 0;
@@ -79,6 +80,7 @@ struct PortCounters {
   void add_rcv_error() noexcept { sat_add(rcv_errors, 1); }
   void add_congestion_mark() noexcept { sat_add(congestion_marks, 1); }
   void add_link_downed() noexcept { sat_add(link_downed, 1); }
+  void add_link_error_recovery() noexcept { sat_add(link_error_recovery, 1); }
 
   /// Any classic field pegged at its width? Deltas computed from a pegged
   /// counter are lower bounds; the PerfMgr clears and flags them.

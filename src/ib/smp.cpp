@@ -84,6 +84,9 @@ SmpCounters& SmpCounters::operator+=(const SmpCounters& other) noexcept {
   perf_mgmt += other.perf_mgmt;
   directed += other.directed;
   lid_routed += other.lid_routed;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  undeliverable += other.undeliverable;
   return *this;
 }
 

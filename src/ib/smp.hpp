@@ -75,6 +75,12 @@ struct SmpCounters {
   std::uint64_t perf_mgmt = 0;  ///< PMA polls and clears (PerfMgr traffic)
   std::uint64_t directed = 0;
   std::uint64_t lid_routed = 0;
+  // Reliable-MAD bookkeeping (bumped by the transport, not by record():
+  // one logical send may cost several wire attempts).
+  std::uint64_t retries = 0;        ///< resends after a response timeout
+  std::uint64_t timeouts = 0;       ///< attempts whose response timer fired
+  std::uint64_t undeliverable = 0;  ///< sends abandoned (no path / retries
+                                    ///< exhausted)
 
   void record(const Smp& smp) noexcept;
   SmpCounters& operator+=(const SmpCounters& other) noexcept;

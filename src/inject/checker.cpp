@@ -1,0 +1,243 @@
+#include "inject/checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fabric/trace.hpp"
+#include "util/expect.hpp"
+
+namespace ibvs::inject {
+
+namespace {
+
+std::string port_name(const Fabric& fabric, NodeId node, PortNum port) {
+  return fabric.node(node).name + ":" + std::to_string(port);
+}
+
+}  // namespace
+
+FabricChecker::FabricChecker(const sm::SubnetManager& sm, CheckerConfig config)
+    : sm_(sm), config_(config) {}
+
+void FabricChecker::add_violation(CheckReport& report,
+                                  std::string what) const {
+  if (report.violations.size() >= config_.max_violations) {
+    report.truncated = true;
+    return;
+  }
+  report.violations.push_back(std::move(what));
+}
+
+CheckReport FabricChecker::check(const core::VSwitchFabric* cloud) const {
+  CheckReport report;
+  check_duplicate_lids(report);
+  check_lidmap_consistency(report);
+  check_reachability(report);
+  if (cloud != nullptr) check_vswitch_mapping(report, *cloud);
+  return report;
+}
+
+void FabricChecker::check_duplicate_lids(CheckReport& report) const {
+  const Fabric& fabric = sm_.fabric();
+  struct PortRef {
+    NodeId node;
+    PortNum port;
+  };
+  std::unordered_map<std::uint16_t, std::vector<PortRef>> owners;
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    if (n.is_switch()) {
+      if (n.ports[0].lid.valid()) {
+        owners[n.ports[0].lid.value()].push_back({id, 0});
+      }
+      continue;
+    }
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      if (n.ports[p].lid.valid()) owners[n.ports[p].lid.value()].push_back({id, p});
+    }
+  }
+  for (const auto& [lid, refs] : owners) {
+    if (refs.size() < 2) continue;
+    // The one sanctioned share: a PF and the vSwitch(es) it sits behind
+    // answer to the same LID (§V). Anything else is an address collision.
+    const PortRef* pf = nullptr;
+    bool ok = true;
+    for (const PortRef& r : refs) {
+      const Node& n = fabric.node(r.node);
+      if (n.is_ca() && n.role == CaRole::kPf) {
+        if (pf != nullptr) ok = false;  // two PFs on one LID
+        pf = &r;
+      } else if (!n.is_vswitch()) {
+        ok = false;
+      }
+    }
+    if (ok && pf != nullptr) {
+      for (const PortRef& r : refs) {
+        const Node& n = fabric.node(r.node);
+        if (!n.is_vswitch()) continue;
+        // The vSwitch must actually host this PF.
+        bool cabled = false;
+        for (PortNum p = 1; p <= n.num_ports(); ++p) {
+          if (n.ports[p].peer == pf->node) cabled = true;
+        }
+        if (!cabled) ok = false;
+      }
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::string what = "duplicate LID " + std::to_string(lid) + " on";
+      for (const PortRef& r : refs) {
+        what += " " + port_name(fabric, r.node, r.port);
+      }
+      add_violation(report, std::move(what));
+    }
+  }
+}
+
+void FabricChecker::check_lidmap_consistency(CheckReport& report) const {
+  const Fabric& fabric = sm_.fabric();
+  const LidMap& lids = sm_.lids();
+  for (const Lid lid : lids.assigned_lids()) {
+    ++report.lids_checked;
+    const LidMap::Owner owner = lids.owner(lid);
+    if (!owner.valid() || owner.node >= fabric.size()) {
+      add_violation(report, "LidMap owner of LID " +
+                                std::to_string(lid.value()) + " is invalid");
+      continue;
+    }
+    const Node& n = fabric.node(owner.node);
+    if (owner.port >= n.ports.size() || !n.ports[owner.port].owns(lid)) {
+      add_violation(report,
+                    "LID " + std::to_string(lid.value()) +
+                        " owner port " + port_name(fabric, owner.node, owner.port) +
+                        " does not answer to it");
+      continue;
+    }
+    const auto attach = lids.attachment(fabric, lid);
+    if (!attach) {
+      ++report.lids_skipped_detached;
+      continue;
+    }
+    const auto [sw, port] = *attach;
+    if (port == 0) continue;  // the switch's own LID terminates at port 0
+    const PortNum installed = fabric.node(sw).lft.get(lid);
+    if (installed != port) {
+      add_violation(report,
+                    "LID " + std::to_string(lid.value()) +
+                        " attaches to " + port_name(fabric, sw, port) +
+                        " but switch forwards it to port " +
+                        std::to_string(installed));
+    }
+  }
+}
+
+void FabricChecker::check_reachability(CheckReport& report) const {
+  const Fabric& fabric = sm_.fabric();
+  const LidMap& lids = sm_.lids();
+
+  std::vector<NodeId> sources;
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    if (!n.is_ca() || !n.ports[1].connected()) continue;
+    if (!fabric.physical_attachment(id)) continue;
+    sources.push_back(id);
+  }
+  if (config_.max_sources > 0 && sources.size() > config_.max_sources) {
+    // Deterministic even spread over the candidates, endpoints included.
+    std::vector<NodeId> sampled;
+    sampled.reserve(config_.max_sources);
+    const std::size_t n = sources.size();
+    const std::size_t k = config_.max_sources;
+    for (std::size_t i = 0; i < k; ++i) {
+      sampled.push_back(sources[k > 1 ? i * (n - 1) / (k - 1) : 0]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    sources = std::move(sampled);
+  }
+  report.sources_sampled = sources.size();
+
+  // A LID is an *active* target only while its owner is physically on the
+  // fabric. A dead switch keeps its LID assignment (it returns with the
+  // node), but with every cable cut the address is legitimately dark —
+  // demanding reachability for it would flag every switch-death as a
+  // violation.
+  const auto any_port_connected = [](const Node& n) {
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      if (n.ports[p].connected()) return true;
+    }
+    return false;
+  };
+  std::vector<Lid> targets;
+  for (const Lid lid : lids.assigned_lids()) {
+    if (!lids.attachment(fabric, lid)) continue;
+    const LidMap::Owner owner = lids.owner(lid);
+    if (owner.valid() && owner.node < fabric.size() &&
+        !any_port_connected(fabric.node(owner.node))) {
+      ++report.lids_skipped_detached;
+      continue;
+    }
+    targets.push_back(lid);
+  }
+
+  for (const NodeId src : sources) {
+    for (const Lid lid : targets) {
+      const auto result = fabric::trace_unicast(fabric, src, lid);
+      ++report.paths_traced;
+      if (result.delivered()) continue;
+      if (result.status == fabric::TraceStatus::kLoop) {
+        add_violation(report, "routing loop tracing LID " +
+                                  std::to_string(lid.value()) + " from " +
+                                  fabric.node(src).name);
+      } else {
+        add_violation(report, "LID " + std::to_string(lid.value()) +
+                                  " unreachable from " +
+                                  fabric.node(src).name + " (" +
+                                  fabric::to_string(result.status) + ")");
+      }
+      if (report.violations.size() >= config_.max_violations) {
+        report.truncated = true;
+        return;
+      }
+    }
+  }
+}
+
+void FabricChecker::check_vswitch_mapping(
+    CheckReport& report, const core::VSwitchFabric& cloud) const {
+  const Fabric& fabric = sm_.fabric();
+  const LidMap& lids = sm_.lids();
+  const auto& hyps = cloud.hypervisors();
+  for (const std::uint32_t id : cloud.active_vm_ids()) {
+    const core::VmHandle handle{id};
+    const core::Vm& vm = cloud.vm(handle);
+    const NodeId node = cloud.vm_node(handle);
+    const Node& n = fabric.node(node);
+    if (!n.is_ca() || n.role != CaRole::kVf) {
+      add_violation(report, "VM " + std::to_string(id) +
+                                " is not backed by a VF node");
+      continue;
+    }
+    if (vm.hypervisor >= hyps.size() ||
+        vm.vf_index >= hyps[vm.hypervisor].vfs.size() ||
+        hyps[vm.hypervisor].vfs[vm.vf_index] != node) {
+      add_violation(report, "VM " + std::to_string(id) +
+                                " VF slot bookkeeping is inconsistent");
+      continue;
+    }
+    if (!vm.lid.valid() || !n.ports[1].owns(vm.lid)) {
+      add_violation(report, "VM " + std::to_string(id) + " VF port (" +
+                                n.name + ") does not own the VM's LID " +
+                                std::to_string(vm.lid.value()));
+      continue;
+    }
+    const LidMap::Owner owner = lids.owner(vm.lid);
+    if (owner.node != node) {
+      add_violation(report, "VM " + std::to_string(id) + " LID " +
+                                std::to_string(vm.lid.value()) +
+                                " is not owned by its VF in the LidMap");
+    }
+  }
+}
+
+}  // namespace ibvs::inject

@@ -119,6 +119,8 @@ PortDelta PerfMgr::poll_port(NodeId node, PortNum port, SweepReport& report) {
   delta.congestion_marks =
       classic_delta(prev.congestion_marks, now.congestion_marks);
   delta.link_downed = classic_delta(prev.link_downed, now.link_downed);
+  delta.link_error_recovery =
+      classic_delta(prev.link_error_recovery, now.link_error_recovery);
   delta.saturated = now.any_classic_saturated();
 
   if (wants_clear(now, config_.clear_fraction)) {

@@ -60,6 +60,7 @@ struct PortDelta {
   std::uint64_t rcv_errors = 0;
   std::uint64_t congestion_marks = 0;
   std::uint64_t link_downed = 0;
+  std::uint64_t link_error_recovery = 0;
   bool saturated = false;      ///< a classic field pegged: lower-bound delta
   bool cleared = false;        ///< PerfMgr cleared the block after reading
   bool from_extended = false;  ///< data/pkt deltas came from 64-bit counters

@@ -227,6 +227,42 @@ DistributionReport SubnetManager::distribute_lfts(SmpRouting routing) {
   return report;
 }
 
+SubnetManager::ReconvergeReport SubnetManager::reconverge(
+    std::size_t max_rounds, SmpRouting routing) {
+  auto span = telemetry::Tracer::global().span("sm.reconverge");
+  compute_routes();
+  ReconvergeReport report;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++report.rounds;
+    transport_.begin_batch();
+    std::uint64_t sent = 0;
+    const auto& g = routing_.graph;
+    for (routing::SwitchIdx s = 0; s < g.num_switches(); ++s) {
+      const NodeId node = g.switches[s];
+      if (!transport_.hops_to(node)) continue;  // severed: cannot program
+      const Lft& master = routing_.lfts[s];
+      const Lft& installed = fabric_.node(node).lft;
+      for (std::size_t b = 0; b < master.block_count(); ++b) {
+        if (!master.block_differs(installed, b)) continue;
+        transport_.send_lft_block(node, static_cast<std::uint32_t>(b),
+                                  master.block(b), routing);
+        ++sent;
+      }
+    }
+    report.time_us += transport_.end_batch();
+    report.smps += sent;
+    if (sent == 0) {
+      report.converged = true;
+      break;
+    }
+  }
+  SweepMetrics::get().blocks_sent.inc(report.smps);
+  span.set_attr("rounds", std::to_string(report.rounds));
+  span.set_attr("smps", std::to_string(report.smps));
+  span.set_attr("converged", report.converged ? "true" : "false");
+  return report;
+}
+
 SweepReport SubnetManager::full_sweep() {
   auto span = telemetry::Tracer::global().span("sm.sweep");
   SweepMetrics::get().sweeps.inc();

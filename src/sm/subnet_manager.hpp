@@ -102,6 +102,25 @@ class SubnetManager {
   /// discover + assign_lids + compute_routes + distribute_lfts.
   SweepReport full_sweep();
 
+  /// Outcome of reconverge(): repeated diff-distributions until the
+  /// installed tables match the master ones.
+  struct ReconvergeReport {
+    std::size_t rounds = 0;  ///< distribution rounds run
+    std::uint64_t smps = 0;  ///< LFT block writes across all rounds
+    double time_us = 0.0;    ///< summed batch makespans
+    bool converged = false;  ///< a round sent zero blocks
+  };
+
+  /// Recomputes routes, then repeatedly distributes the differing LFT
+  /// blocks until a round sends none (every reachable switch verified up
+  /// to date) or `max_rounds` is hit. Switches currently unreachable from
+  /// the SM are skipped — they cannot be programmed, and their blocks are
+  /// re-diffed once they return. With a lossy fault model attached to the
+  /// transport this is the SM's recovery loop: a failed install leaves the
+  /// block different, so the next round simply resends it.
+  ReconvergeReport reconverge(std::size_t max_rounds = 64,
+                              SmpRouting routing = SmpRouting::kDirected);
+
   /// Master tables of the last compute_routes() (empty before the first).
   [[nodiscard]] const routing::RoutingResult& routing_result() const {
     return routing_;

@@ -79,10 +79,13 @@ void ThreadPool::parallel_for_chunks(
         if (!first_error) first_error = std::current_exception();
       }
       {
+        // Notify under the lock: the waiter owns done_cv on its stack, so
+        // it must not be able to wake, see pending == 0, and destroy the
+        // cv while this thread is still inside notify_one.
         std::lock_guard<std::mutex> lock(done_mutex);
         --pending;
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
 

@@ -4,6 +4,7 @@
 
 #include "fabric/trace.hpp"
 #include "routing/verify.hpp"
+#include "telemetry/metrics.hpp"
 #include "tests/helpers.hpp"
 
 namespace ibvs {
@@ -106,11 +107,20 @@ TEST(Failures, SmpToDisconnectedSwitchIsUndeliverable) {
     }
   }
   s.sm->transport().invalidate_topology();
+  const auto& registry = telemetry::Registry::global();
+  const auto exported_before =
+      registry.counter_family_total("ibvs_smp_undeliverable_total");
+  const std::uint64_t counted_before =
+      s.sm->transport().counters().undeliverable;
   std::vector<PortNum> block(kLftBlockSize, kDropPort);
   const auto outcome = s.sm->transport().send_lft_block(spine, 0, block);
   EXPECT_FALSE(outcome.delivered);
   // Counted (the SM tried) but no time accrued for a delivery.
   EXPECT_EQ(outcome.hops, 0u);
+  // Both the transport tally and the exported counter record the loss.
+  EXPECT_EQ(s.sm->transport().counters().undeliverable, counted_before + 1);
+  EXPECT_EQ(registry.counter_family_total("ibvs_smp_undeliverable_total"),
+            exported_before + 1);
 }
 
 TEST(Failures, HypervisorUplinkLossCutsItsVmsOnly) {
