@@ -106,6 +106,7 @@ BENCHMARK(BM_BootPathComputation)
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   print_boot_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -165,6 +165,7 @@ BENCHMARK(BM_PathComputation)
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   print_fig7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

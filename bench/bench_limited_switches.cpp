@@ -131,6 +131,7 @@ BENCHMARK(BM_MinimalSetComputation)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   std::printf(
       "\nFig. 6 — switches updated vs migration distance (3-level "
       "fat-tree: 4 pods, 20 switches)\n\n");

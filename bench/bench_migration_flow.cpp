@@ -122,6 +122,7 @@ BENCHMARK(BM_SaCachedResolve);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   print_flow();
   print_sa_cache_effect();
   benchmark::Initialize(&argc, argv);

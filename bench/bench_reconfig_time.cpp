@@ -119,6 +119,7 @@ BENCHMARK(BM_FullReconfiguration)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   print_analytical();
   print_simulated();
   benchmark::Initialize(&argc, argv);

@@ -132,6 +132,7 @@ BENCHMARK(BM_MigrateCopy)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
   print_table();
   benchmark::Initialize(&argc, argv);

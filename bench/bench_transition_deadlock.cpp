@@ -152,6 +152,7 @@ BENCHMARK(BM_CreditSimSteadyState)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  ibvs::bench::consume_threads(argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -26,6 +26,7 @@
 #include "telemetry/trace.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/hosts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ibvs::bench {
 
@@ -82,6 +83,24 @@ inline std::uint64_t consume_seed(int& argc, char** argv,
     std::exit(2);
   }
   return parsed;
+}
+
+/// `--threads <n>`: sizes the global thread pool for the sweep fast paths
+/// (0 restores the default: IBVS_THREADS, else hardware concurrency).
+/// Returns the pool size in effect so benches can report it.
+inline std::size_t consume_threads(int& argc, char** argv) {
+  const auto value = consume_flag_value(argc, argv, "--threads");
+  if (value) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value->c_str(), &end, 0);
+    if (end == value->c_str() || *end != '\0') {
+      std::fprintf(stderr, "error: --threads wants an integer, got '%s'\n",
+                   value->c_str());
+      std::exit(2);
+    }
+    ThreadPool::set_global_threads(static_cast<std::size_t>(parsed));
+  }
+  return ThreadPool::global_thread_count();
 }
 
 /// Dumps the global registry's JSON snapshot to `path` ("-" for stdout) so

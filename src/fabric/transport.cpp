@@ -1,32 +1,79 @@
 #include "fabric/transport.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "util/expect.hpp"
 
 namespace ibvs::fabric {
 
+namespace {
+
+/// Telemetry handles used on the per-SMP path, resolved once per *process*
+/// rather than once per transport instance: chaos and the benches construct
+/// transports by the dozen, and account() must not touch the registry mutex
+/// or a lazy-init branch for every send. Children are never deleted, so the
+/// references stay valid for the process lifetime.
+struct TransportMetrics {
+  static constexpr std::size_t kNumAttributes = 9;
+  std::array<telemetry::Counter*, kNumAttributes * 2 * 2> by_shape{};
+  telemetry::Counter* undeliverable = nullptr;
+  telemetry::Counter* retries = nullptr;
+  telemetry::Counter* timeouts = nullptr;
+  telemetry::Histogram* latency = nullptr;
+
+  /// Flat index of one (attribute, method, routing) shape.
+  static std::size_t shape_index(const Smp& smp) noexcept {
+    return (static_cast<std::size_t>(smp.attribute) * 2 +
+            (smp.method == SmpMethod::kSet ? 1 : 0)) *
+               2 +
+           (smp.routing == SmpRouting::kLidRouted ? 1 : 0);
+  }
+
+  static const TransportMetrics& get() {
+    static const TransportMetrics metrics = [] {
+      TransportMetrics m;
+      auto& reg = telemetry::Registry::global();
+      for (std::size_t a = 0; a < kNumAttributes; ++a) {
+        for (const SmpMethod method : {SmpMethod::kGet, SmpMethod::kSet}) {
+          for (const SmpRouting routing :
+               {SmpRouting::kDirected, SmpRouting::kLidRouted}) {
+            Smp smp;
+            smp.attribute = static_cast<SmpAttribute>(a);
+            smp.method = method;
+            smp.routing = routing;
+            m.by_shape[shape_index(smp)] = &reg.counter(
+                "ibvs_smp_total",
+                {{"attribute", to_string(smp.attribute)},
+                 {"method", method == SmpMethod::kSet ? "Set" : "Get"},
+                 {"routing",
+                  routing == SmpRouting::kDirected ? "directed" : "lid"}},
+                "SMPs sent by the SM, by attribute/method/routing");
+          }
+        }
+      }
+      m.undeliverable = &reg.counter(
+          "ibvs_smp_undeliverable_total", {},
+          "SMPs the SM gave up on (no path, or every retry timed out)");
+      m.retries = &reg.counter("ibvs_smp_retries_total", {},
+                               "MAD resends after a response timeout");
+      m.timeouts = &reg.counter(
+          "ibvs_smp_timeouts_total", {},
+          "MAD response timeouts (lost request or response)");
+      m.latency = &reg.histogram(
+          "ibvs_smp_latency_us", {},
+          telemetry::HistogramOptions{.min_bound = 0.0625, .num_buckets = 24},
+          "Simulated per-SMP latency under the timing model");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 SmpTransport::SmpTransport(Fabric& fabric, NodeId sm_node, TimingModel timing)
     : fabric_(fabric), sm_node_(sm_node), timing_(timing) {}
-
-telemetry::Counter& SmpTransport::smp_counter(const Smp& smp) {
-  const std::size_t idx =
-      (static_cast<std::size_t>(smp.attribute) * 2 +
-       (smp.method == SmpMethod::kSet ? 1 : 0)) *
-          2 +
-      (smp.routing == SmpRouting::kLidRouted ? 1 : 0);
-  telemetry::Counter*& slot = smp_counters_[idx];
-  if (slot == nullptr) {
-    slot = &telemetry::Registry::global().counter(
-        "ibvs_smp_total",
-        {{"attribute", to_string(smp.attribute)},
-         {"method", smp.method == SmpMethod::kSet ? "Set" : "Get"},
-         {"routing",
-          smp.routing == SmpRouting::kDirected ? "directed" : "lid"}},
-        "SMPs sent by the SM, by attribute/method/routing");
-  }
-  return *slot;
-}
 
 void SmpTransport::recompute_hops() {
   hops_cache_.assign(fabric_.size(), ~0u);
@@ -62,15 +109,6 @@ bool SmpTransport::collect_path(NodeId target) {
   }
   std::reverse(scratch_path_.begin(), scratch_path_.end());
   return true;
-}
-
-telemetry::Counter& SmpTransport::reliability_counter(
-    telemetry::Counter*& slot, std::string_view name,
-    std::string_view help) {
-  if (slot == nullptr) {
-    slot = &telemetry::Registry::global().counter(name, {}, help);
-  }
-  return *slot;
 }
 
 void SmpTransport::run_attempts(const Smp& smp, SendOutcome& outcome) {
@@ -151,16 +189,14 @@ std::optional<std::size_t> SmpTransport::hops_to(NodeId target) {
 
 SendOutcome SmpTransport::account(const Smp& smp,
                                   std::optional<std::size_t> hops) {
+  const TransportMetrics& metrics = TransportMetrics::get();
+  if (smp_tap_ != nullptr) smp_tap_->push_back(smp);
   counters_.record(smp);
-  smp_counter(smp).inc();
+  metrics.by_shape[TransportMetrics::shape_index(smp)]->inc();
   SendOutcome outcome;
   if (!hops) {  // no path at all: counted, zero progress
     ++counters_.undeliverable;
-    reliability_counter(undeliverable_counter_,
-                        "ibvs_smp_undeliverable_total",
-                        "SMPs the SM gave up on (no path, or every retry "
-                        "timed out)")
-        .inc();
+    metrics.undeliverable->inc();
     return outcome;
   }
   outcome.hops = *hops;
@@ -178,32 +214,18 @@ SendOutcome SmpTransport::account(const Smp& smp,
   }
   if (outcome.attempts > 1) {
     counters_.retries += outcome.attempts - 1;
-    reliability_counter(retries_counter_, "ibvs_smp_retries_total",
-                        "MAD resends after a response timeout")
-        .inc(outcome.attempts - 1);
+    metrics.retries->inc(outcome.attempts - 1);
   }
   if (outcome.timeouts > 0) {
     counters_.timeouts += outcome.timeouts;
-    reliability_counter(timeouts_counter_, "ibvs_smp_timeouts_total",
-                        "MAD response timeouts (lost request or response)")
-        .inc(outcome.timeouts);
+    metrics.timeouts->inc(outcome.timeouts);
   }
   if (!outcome.delivered) {
     // Retries exhausted: the time spent waiting still accrues.
     ++counters_.undeliverable;
-    reliability_counter(undeliverable_counter_,
-                        "ibvs_smp_undeliverable_total",
-                        "SMPs the SM gave up on (no path, or every retry "
-                        "timed out)")
-        .inc();
+    metrics.undeliverable->inc();
   }
-  if (latency_histogram_ == nullptr) {
-    latency_histogram_ = &telemetry::Registry::global().histogram(
-        "ibvs_smp_latency_us", {},
-        telemetry::HistogramOptions{.min_bound = 0.0625, .num_buckets = 24},
-        "Simulated per-SMP latency under the timing model");
-  }
-  latency_histogram_->observe(outcome.latency_us);
+  metrics.latency->observe(outcome.latency_us);
 
   if (in_batch_) {
     // Window of `pipeline_depth` outstanding SMPs: a new SMP is issued

@@ -14,7 +14,6 @@
 // degraded fabric is visibly slower to reconfigure — not just lossier.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -65,6 +64,11 @@ class SmpTransport {
   [[nodiscard]] LinkFaultModel* fault_model() const noexcept {
     return fault_model_;
   }
+
+  /// Test hook: while attached, every accounted SMP is appended to `*sink`
+  /// in send order. The parallel-sweep determinism tests compare these
+  /// streams between single- and multi-threaded runs. nullptr detaches.
+  void set_smp_tap(std::vector<Smp>* sink) noexcept { smp_tap_ = sink; }
 
   /// Hop count from the SM node to `target` (through switches/vSwitches).
   [[nodiscard]] std::optional<std::size_t> hops_to(NodeId target);
@@ -146,13 +150,6 @@ class SmpTransport {
   /// traffic counters per traversal and symbol errors where the fault
   /// model drops. Fills delivery, attempts, timeouts and latency.
   void run_attempts(const Smp& smp, SendOutcome& outcome);
-  /// Registry counter for this SMP shape, resolved once per (attribute,
-  /// method, routing) combination and cached — account() stays lock-free
-  /// after the first SMP of each shape.
-  telemetry::Counter& smp_counter(const Smp& smp);
-  telemetry::Counter& reliability_counter(telemetry::Counter*& slot,
-                                          std::string_view name,
-                                          std::string_view help);
 
   Fabric& fabric_;
   NodeId sm_node_;
@@ -160,14 +157,7 @@ class SmpTransport {
   SmpCounters counters_;
   double total_us_ = 0.0;
   LinkFaultModel* fault_model_ = nullptr;
-
-  /// Cache indexed by (attribute, method, routing); see smp_counter().
-  static constexpr std::size_t kNumAttributes = 9;
-  std::array<telemetry::Counter*, kNumAttributes * 2 * 2> smp_counters_{};
-  telemetry::Counter* undeliverable_counter_ = nullptr;
-  telemetry::Counter* retries_counter_ = nullptr;
-  telemetry::Counter* timeouts_counter_ = nullptr;
-  telemetry::Histogram* latency_histogram_ = nullptr;
+  std::vector<Smp>* smp_tap_ = nullptr;  ///< see set_smp_tap()
   std::vector<PathLink> scratch_path_;  ///< reused per send
 
   // Hop cache (BFS from the SM node over all cabled nodes), plus the BFS

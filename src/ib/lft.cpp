@@ -59,18 +59,13 @@ bool Lft::block_differs(const Lft& other, std::size_t block_index) const {
 
 std::vector<std::size_t> Lft::diff_blocks(const Lft& other) const {
   std::vector<std::size_t> result;
-  const std::size_t blocks = std::max(block_count(), other.block_count());
-  for (std::size_t b = 0; b < blocks; ++b) {
-    if (block_differs(other, b)) result.push_back(b);
-  }
+  for_each_diff_block(other, [&](std::size_t b) { result.push_back(b); });
   return result;
 }
 
 std::vector<std::size_t> Lft::dirty_blocks() const {
   std::vector<std::size_t> result;
-  for (std::size_t b = 0; b < dirty_.size(); ++b) {
-    if (dirty_[b]) result.push_back(b);
-  }
+  for_each_dirty_block([&](std::size_t b) { result.push_back(b); });
   return result;
 }
 

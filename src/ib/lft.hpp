@@ -7,6 +7,7 @@
 // and can diff itself against a previous snapshot block-by-block.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -57,8 +58,29 @@ class Lft {
   /// pass must send to bring `other` up to date with *this.
   [[nodiscard]] std::vector<std::size_t> diff_blocks(const Lft& other) const;
 
+  /// Calls `f(block_index)` in ascending order for every block that differs
+  /// from `other` — the allocation-free form of diff_blocks(), used by the
+  /// sweep's hot diff phase (one call per switch per sweep).
+  template <typename F>
+  void for_each_diff_block(const Lft& other, F&& f) const {
+    const std::size_t blocks = std::max(block_count(), other.block_count());
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (block_differs(other, b)) f(b);
+    }
+  }
+
   /// Blocks touched by set() since the last clear_dirty(). Sorted, unique.
   [[nodiscard]] std::vector<std::size_t> dirty_blocks() const;
+
+  /// Calls `f(block_index)` in ascending order for every dirty block, without
+  /// materializing the index vector (push_dirty_blocks runs per migration).
+  template <typename F>
+  void for_each_dirty_block(F&& f) const {
+    for (std::size_t b = 0; b < dirty_.size(); ++b) {
+      if (dirty_[b]) f(b);
+    }
+  }
+
   void clear_dirty();
 
   /// Resets every entry to kDropPort without changing capacity.

@@ -57,6 +57,10 @@ struct Smp {
   std::vector<PortNum> route;
 
   [[nodiscard]] std::size_t hops() const noexcept { return route.size(); }
+
+  /// Field-wise equality — the determinism tests compare whole SMP streams
+  /// between single- and multi-threaded sweeps.
+  [[nodiscard]] bool operator==(const Smp& other) const = default;
 };
 
 [[nodiscard]] std::string to_string(SmpAttribute attribute);

@@ -5,6 +5,7 @@
 
 #include "fabric/trace.hpp"
 #include "util/expect.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ibvs::inject {
 
@@ -180,27 +181,49 @@ void FabricChecker::check_reachability(CheckReport& report) const {
     targets.push_back(lid);
   }
 
-  for (const NodeId src : sources) {
-    for (const Lid lid : targets) {
+  // The traces are pure reads of the installed tables (trace_unicast never
+  // touches counters), so every source's target scan runs on the pool. The
+  // merge below replays the findings in (source, target) order and
+  // reconstructs exactly what a serial scan would have reported — including
+  // the violation cap, the truncated flag, and the paths_traced count at
+  // the point a serial scan would have bailed out.
+  struct Finding {
+    std::size_t target_index;
+    std::string what;
+  };
+  std::vector<std::vector<Finding>> findings(sources.size());
+  ThreadPool::global().parallel_for(0, sources.size(), [&](std::size_t i) {
+    const NodeId src = sources[i];
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const Lid lid = targets[t];
       const auto result = fabric::trace_unicast(fabric, src, lid);
-      ++report.paths_traced;
       if (result.delivered()) continue;
       if (result.status == fabric::TraceStatus::kLoop) {
-        add_violation(report, "routing loop tracing LID " +
-                                  std::to_string(lid.value()) + " from " +
-                                  fabric.node(src).name);
+        findings[i].push_back({t, "routing loop tracing LID " +
+                                      std::to_string(lid.value()) + " from " +
+                                      fabric.node(src).name});
       } else {
-        add_violation(report, "LID " + std::to_string(lid.value()) +
-                                  " unreachable from " +
-                                  fabric.node(src).name + " (" +
-                                  fabric::to_string(result.status) + ")");
+        findings[i].push_back({t, "LID " + std::to_string(lid.value()) +
+                                      " unreachable from " +
+                                      fabric.node(src).name + " (" +
+                                      fabric::to_string(result.status) + ")"});
       }
+    }
+  });
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (Finding& f : findings[i]) {
+      add_violation(report, std::move(f.what));
       if (report.violations.size() >= config_.max_violations) {
         report.truncated = true;
+        // A serial scan would have returned right here, having traced every
+        // pair up to and including this one.
+        report.paths_traced += i * targets.size() + f.target_index + 1;
         return;
       }
     }
   }
+  report.paths_traced += sources.size() * targets.size();
 }
 
 void FabricChecker::check_vswitch_mapping(

@@ -25,6 +25,7 @@
 #include "routing/cdg.hpp"
 #include "routing/engine.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace ibvs::routing {
@@ -130,47 +131,73 @@ class DfssspEngine final : public RoutingEngine {
     std::vector<ChannelDepGraph> layers;
     layers.reserve(kMaxVls);
     layers.emplace_back(e_count);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> deps;
-    for (const auto& target : g.targets) {
-      // Switch LIDs receive only management traffic, which rides the
-      // dedicated VL15 — they do not participate in the data-VL CDG. (Their
-      // routes may legitimately turn down-then-up, e.g. core -> spine ->
-      // core, and would otherwise poison the layering.)
-      if (target.port == 0) continue;
-      deps.clear();
-      // Dependencies of this destination's route DAG: for every switch v
-      // whose egress toward the target is a switch link, every used ingress
-      // channel (u -> v) depends on the egress channel.
-      for (std::size_t v = 0; v < s_count; ++v) {
-        const PortNum out_port = result.lfts[v].get(target.lid);
-        if (out_port == kDropPort) continue;
-        const std::uint32_t e_out =
-            g.edge_of(static_cast<SwitchIdx>(v), out_port);
-        if (e_out == SwitchGraph::kNoEdge) continue;  // local delivery
-        const auto [first, last] = g.out(static_cast<SwitchIdx>(v));
-        for (const auto* e = first; e != last; ++e) {
-          const SwitchIdx u = e->to;
-          const PortNum u_out = result.lfts[u].get(target.lid);
-          const std::uint32_t eid =
-              static_cast<std::uint32_t>(e - g.edges.data());
-          // u's egress is the reverse of (v -> u) iff u forwards into v.
-          const std::uint32_t e_in = g.reverse_edge[eid];
-          if (u_out == g.edges[e_in].out_port) deps.emplace_back(e_in, e_out);
-        }
-      }
-      unsigned vl = 0;
-      for (;; ++vl) {
-        if (vl == layers.size()) {
-          if (layers.size() == kMaxVls) {
-            throw std::runtime_error(
-                "dfsssp: cannot break CDG cycles within " +
-                std::to_string(kMaxVls) + " VLs");
+    // Dependency extraction — for each destination, the O(switches x
+    // out-degree) scan of the finished LFTs — is by far the expensive half
+    // of this phase and touches nothing mutable, so it fans out over the
+    // pool in bounded waves. VL admission into the Pearce–Kelly CDG is
+    // order-dependent (a destination goes to the first VL whose graph stays
+    // acyclic *given everything admitted before it*) and stays sequential
+    // over destinations, which keeps dest_vl byte-identical to a
+    // single-threaded run.
+    const std::size_t t_count = g.targets.size();
+    constexpr std::size_t kWave = 256;  // bounds the buffered dep lists
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> wave(
+        std::min(kWave, t_count));
+    for (std::size_t wave_begin = 0; wave_begin < t_count;
+         wave_begin += kWave) {
+      const std::size_t wave_end = std::min(t_count, wave_begin + kWave);
+      ThreadPool::global().parallel_for(
+          wave_begin, wave_end, [&](std::size_t t) {
+            auto& deps = wave[t - wave_begin];
+            deps.clear();
+            const auto& target = g.targets[t];
+            // Switch LIDs receive only management traffic, which rides the
+            // dedicated VL15 — they do not participate in the data-VL CDG.
+            // (Their routes may legitimately turn down-then-up, e.g. core ->
+            // spine -> core, and would otherwise poison the layering.)
+            if (target.port == 0) return;
+            // Dependencies of this destination's route DAG: for every
+            // switch v whose egress toward the target is a switch link,
+            // every used ingress channel (u -> v) depends on the egress.
+            for (std::size_t v = 0; v < s_count; ++v) {
+              const PortNum out_port = result.lfts[v].get(target.lid);
+              if (out_port == kDropPort) continue;
+              const std::uint32_t e_out =
+                  g.edge_of(static_cast<SwitchIdx>(v), out_port);
+              if (e_out == SwitchGraph::kNoEdge) continue;  // local delivery
+              const auto [first, last] = g.out(static_cast<SwitchIdx>(v));
+              for (const auto* e = first; e != last; ++e) {
+                const SwitchIdx u = e->to;
+                const PortNum u_out = result.lfts[u].get(target.lid);
+                const std::uint32_t eid =
+                    static_cast<std::uint32_t>(e - g.edges.data());
+                // u's egress is the reverse of (v -> u) iff u forwards
+                // into v.
+                const std::uint32_t e_in = g.reverse_edge[eid];
+                if (u_out == g.edges[e_in].out_port) {
+                  deps.emplace_back(e_in, e_out);
+                }
+              }
+            }
+          });
+      for (std::size_t t = wave_begin; t < wave_end; ++t) {
+        const auto& target = g.targets[t];
+        if (target.port == 0) continue;
+        const auto& deps = wave[t - wave_begin];
+        unsigned vl = 0;
+        for (;; ++vl) {
+          if (vl == layers.size()) {
+            if (layers.size() == kMaxVls) {
+              throw std::runtime_error(
+                  "dfsssp: cannot break CDG cycles within " +
+                  std::to_string(kMaxVls) + " VLs");
+            }
+            layers.emplace_back(e_count);
           }
-          layers.emplace_back(e_count);
+          if (layers[vl].try_add_batch(deps)) break;
         }
-        if (layers[vl].try_add_batch(deps)) break;
+        result.dest_vl[target.lid.value()] = static_cast<std::uint8_t>(vl);
       }
-      result.dest_vl[target.lid.value()] = static_cast<std::uint8_t>(vl);
     }
     result.num_vls = static_cast<unsigned>(layers.size());
     for (auto& lft : result.lfts) lft.clear_dirty();

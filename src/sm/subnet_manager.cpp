@@ -6,6 +6,7 @@
 #include "telemetry/trace.hpp"
 #include "util/expect.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ibvs::sm {
 
@@ -192,28 +193,59 @@ const routing::RoutingResult& SubnetManager::compute_routes() {
   return routing_;
 }
 
+void SubnetManager::collect_lft_diffs(
+    std::vector<std::uint8_t>& reachable,
+    std::vector<std::vector<std::uint32_t>>& to_send) {
+  const auto& g = routing_.graph;
+  const std::size_t n = g.num_switches();
+  // Reachability is resolved serially up front: hops_to() owns a lazily
+  // rebuilt BFS cache that must not be raced, and a severed switch cannot
+  // be programmed anyway — diffing it would charge the sweep for SMPs that
+  // can never be delivered (they are re-diffed once the switch returns).
+  reachable.assign(n, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    reachable[s] = transport_.hops_to(g.switches[s]).has_value() ? 1 : 0;
+  }
+  // The per-switch block scans are independent pure reads of the master and
+  // installed tables, so they fan out over the pool into per-switch send
+  // lists. The caller's serial, index-ordered send loop then reproduces the
+  // exact SMP stream of a single-threaded sweep.
+  to_send.assign(n, {});
+  ThreadPool::global().parallel_for_chunks(
+      0, n, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+          if (!reachable[s]) continue;
+          const Lft& master = routing_.lfts[s];
+          const Lft& installed = fabric_.node(g.switches[s]).lft;
+          master.for_each_diff_block(installed, [&](std::size_t b) {
+            // Blocks beyond the master's capacity have no payload to send;
+            // they stay whatever the switch holds (as before the fast path).
+            if (b < master.block_count()) {
+              to_send[s].push_back(static_cast<std::uint32_t>(b));
+            }
+          });
+        }
+      });
+}
+
 DistributionReport SubnetManager::distribute_lfts(SmpRouting routing) {
   IBVS_REQUIRE(routing_ready_, "compute_routes() must run first");
   DistributionReport report;
   auto span = telemetry::Tracer::global().span("sm.lft_distribution");
-  transport_.begin_batch();
+  std::vector<std::uint8_t> reachable;
+  std::vector<std::vector<std::uint32_t>> to_send;
+  collect_lft_diffs(reachable, to_send);
   const auto& g = routing_.graph;
+  transport_.begin_batch();
   for (routing::SwitchIdx s = 0; s < g.num_switches(); ++s) {
-    const NodeId node = g.switches[s];
+    if (!reachable[s]) continue;  // severed: cannot program
     const Lft& master = routing_.lfts[s];
-    const Lft& installed = fabric_.node(node).lft;
-    bool touched = false;
-    for (std::size_t b = 0; b < master.block_count(); ++b) {
-      if (!master.block_differs(installed, b)) {
-        ++report.blocks_skipped;
-        continue;
-      }
-      transport_.send_lft_block(node, static_cast<std::uint32_t>(b),
-                                master.block(b), routing);
+    report.blocks_skipped += master.block_count() - to_send[s].size();
+    for (const std::uint32_t b : to_send[s]) {
+      transport_.send_lft_block(g.switches[s], b, master.block(b), routing);
       ++report.smps;
-      touched = true;
     }
-    if (touched) ++report.switches_touched;
+    if (!to_send[s].empty()) ++report.switches_touched;
   }
   report.time_us = transport_.end_batch();
   auto& metrics = SweepMetrics::get();
@@ -232,20 +264,20 @@ SubnetManager::ReconvergeReport SubnetManager::reconverge(
   auto span = telemetry::Tracer::global().span("sm.reconverge");
   compute_routes();
   ReconvergeReport report;
+  std::vector<std::uint8_t> reachable;
+  std::vector<std::vector<std::uint32_t>> to_send;
   for (std::size_t round = 0; round < max_rounds; ++round) {
     ++report.rounds;
+    collect_lft_diffs(reachable, to_send);
+    const auto& g = routing_.graph;
     transport_.begin_batch();
     std::uint64_t sent = 0;
-    const auto& g = routing_.graph;
     for (routing::SwitchIdx s = 0; s < g.num_switches(); ++s) {
-      const NodeId node = g.switches[s];
-      if (!transport_.hops_to(node)) continue;  // severed: cannot program
+      if (!reachable[s]) continue;  // severed: cannot program
       const Lft& master = routing_.lfts[s];
-      const Lft& installed = fabric_.node(node).lft;
-      for (std::size_t b = 0; b < master.block_count(); ++b) {
-        if (!master.block_differs(installed, b)) continue;
-        transport_.send_lft_block(node, static_cast<std::uint32_t>(b),
-                                  master.block(b), routing);
+      for (const std::uint32_t b : to_send[s]) {
+        transport_.send_lft_block(g.switches[s], b, master.block(b),
+                                  routing);
         ++sent;
       }
     }
@@ -318,11 +350,11 @@ std::uint64_t SubnetManager::push_dirty_blocks(routing::SwitchIdx sw,
   Lft& master = routing_.lfts[sw];
   const NodeId node = routing_.graph.switches[sw];
   std::uint64_t sent = 0;
-  for (std::size_t b : master.dirty_blocks()) {
+  master.for_each_dirty_block([&](std::size_t b) {
     transport_.send_lft_block(node, static_cast<std::uint32_t>(b),
                               master.block(b), routing);
     ++sent;
-  }
+  });
   master.clear_dirty();
   return sent;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 
 namespace ibvs {
 
@@ -104,9 +106,61 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                       });
 }
 
+namespace {
+
+/// IBVS_THREADS=N sizes the global pool without touching code — the knob
+/// the scaling benches and CI use for reproducible curves. 0/garbage means
+/// "no override".
+std::size_t env_threads() {
+  const char* value = std::getenv("IBVS_THREADS");
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0') return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+struct GlobalPool {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t override_threads = 0;  ///< 0 = IBVS_THREADS/hardware default
+};
+
+GlobalPool& global_slot() {
+  static GlobalPool g;
+  return g;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  GlobalPool& g = global_slot();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (!g.pool) {
+    std::size_t threads = g.override_threads;
+    if (threads == 0) threads = env_threads();
+    g.pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *g.pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  GlobalPool& g = global_slot();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.override_threads = threads;
+  g.pool.reset();  // rebuilt lazily at the requested size
+}
+
+std::size_t ThreadPool::global_thread_count() {
+  GlobalPool& g = global_slot();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.pool) return g.pool->size();
+  std::size_t threads = g.override_threads;
+  if (threads == 0) threads = env_threads();
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return threads;
 }
 
 }  // namespace ibvs

@@ -40,8 +40,21 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
 
-  /// Process-wide shared pool.
+  /// Process-wide shared pool. Sized, in priority order, by the last
+  /// set_global_threads() call, the IBVS_THREADS environment variable, or
+  /// hardware_concurrency.
   static ThreadPool& global();
+
+  /// Resizes the global pool: the current one (if any) is torn down and the
+  /// next global() call builds a pool with `threads` workers. 0 restores
+  /// the IBVS_THREADS/hardware default. Must not be called while another
+  /// thread is inside a global-pool parallel_for — the benches use it
+  /// between measurements to sweep thread counts within one process.
+  static void set_global_threads(std::size_t threads);
+
+  /// Worker count the current (or next) global pool has (resolves the
+  /// override/environment/hardware chain without forcing pool creation).
+  static std::size_t global_thread_count();
 
  private:
   void submit(std::function<void()> task);

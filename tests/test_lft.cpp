@@ -118,6 +118,35 @@ TEST(Lft, DiffBlocks) {
   EXPECT_TRUE(a == b);
 }
 
+TEST(Lft, ForEachDiffBlockMatchesDiffBlocks) {
+  Lft a(Lid{300});
+  Lft b(Lid{100});
+  a.set(Lid{5}, 1);
+  a.set(Lid{130}, 2);
+  a.set(Lid{250}, 3);
+  b.set(Lid{70}, 4);
+  std::vector<std::size_t> seen;
+  a.for_each_diff_block(b, [&](std::size_t blk) { seen.push_back(blk); });
+  EXPECT_EQ(seen, a.diff_blocks(b));
+  // Symmetric capacities: the iteration covers the larger table.
+  seen.clear();
+  b.for_each_diff_block(a, [&](std::size_t blk) { seen.push_back(blk); });
+  EXPECT_EQ(seen, b.diff_blocks(a));
+}
+
+TEST(Lft, ForEachDirtyBlockMatchesDirtyBlocks) {
+  Lft a(Lid{300});
+  a.set(Lid{5}, 1);
+  a.set(Lid{250}, 3);
+  std::vector<std::size_t> seen;
+  a.for_each_dirty_block([&](std::size_t blk) { seen.push_back(blk); });
+  EXPECT_EQ(seen, a.dirty_blocks());
+  a.clear_dirty();
+  seen.clear();
+  a.for_each_dirty_block([&](std::size_t blk) { seen.push_back(blk); });
+  EXPECT_TRUE(seen.empty());
+}
+
 TEST(Lft, DiffAgainstSmallerTable) {
   Lft a(Lid{200});
   Lft b;  // empty

@@ -1,0 +1,152 @@
+// Determinism contract of the parallel sweep fast path.
+//
+// The diff/extraction phases of LFT distribution, DFSSSP deadlock removal,
+// and the fabric checker run on the global thread pool — but the observable
+// outputs must be byte-identical to a single-threaded run: the SMP stream
+// (order included), the computed tables, the per-destination VLs, the
+// checker report, and the chaos digest. These tests pin that contract by
+// running the same scenario at 1 and 4 threads and comparing everything.
+#include <gtest/gtest.h>
+
+#include "inject/chaos.hpp"
+#include "inject/checker.hpp"
+#include "tests/helpers.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ibvs {
+namespace {
+
+using test::PhysicalSubnet;
+using test::VirtualSubnet;
+
+/// Restores the default global pool sizing when a test exits.
+struct ThreadGuard {
+  explicit ThreadGuard(std::size_t threads) {
+    ThreadPool::set_global_threads(threads);
+  }
+  ~ThreadGuard() { ThreadPool::set_global_threads(0); }
+};
+
+/// Full sweep with every SMP recorded.
+std::vector<Smp> sweep_stream(PhysicalSubnet& s) {
+  std::vector<Smp> stream;
+  s.sm->transport().set_smp_tap(&stream);
+  s.sm->full_sweep();
+  s.sm->transport().set_smp_tap(nullptr);
+  return stream;
+}
+
+TEST(ParallelDeterminism, SweepSmpStreamMatchesSingleThreaded) {
+  std::vector<Smp> streams[2];
+  std::vector<Lft> lfts[2];
+  for (int run = 0; run < 2; ++run) {
+    ThreadGuard guard(run == 0 ? 1 : 4);
+    auto s = PhysicalSubnet::small_fat_tree();
+    streams[run] = sweep_stream(s);
+    for (const NodeId sw : s.fabric.switch_ids()) {
+      lfts[run].push_back(s.fabric.node(sw).lft);
+    }
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(lfts[0], lfts[1]);
+}
+
+TEST(ParallelDeterminism, ReconvergeStreamMatchesSingleThreaded) {
+  std::vector<Smp> streams[2];
+  for (int run = 0; run < 2; ++run) {
+    ThreadGuard guard(run == 0 ? 1 : 4);
+    auto s = PhysicalSubnet::small_fat_tree();
+    s.sm->full_sweep();
+    // Cut one leaf-spine cable and watch the recovery stream.
+    const NodeId spine = s.built.spines.front();
+    s.fabric.disconnect(spine, 1);
+    s.sm->transport().invalidate_topology();
+    s.sm->transport().set_smp_tap(&streams[run]);
+    const auto report = s.sm->reconverge();
+    s.sm->transport().set_smp_tap(nullptr);
+    EXPECT_TRUE(report.converged);
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+}
+
+TEST(ParallelDeterminism, DfssspTablesAndVlsMatchSingleThreaded) {
+  routing::RoutingResult results[2];
+  for (int run = 0; run < 2; ++run) {
+    ThreadGuard guard(run == 0 ? 1 : 4);
+    auto s = PhysicalSubnet::small_fat_tree(routing::EngineKind::kDfsssp);
+    s.sm->discover();
+    s.sm->assign_lids();
+    results[run] = s.sm->engine().compute(s.fabric, s.sm->lids());
+  }
+  EXPECT_EQ(results[0].lfts, results[1].lfts);
+  EXPECT_EQ(results[0].dest_vl, results[1].dest_vl);
+  EXPECT_EQ(results[0].num_vls, results[1].num_vls);
+}
+
+TEST(ParallelDeterminism, CheckerReportMatchesSingleThreaded) {
+  inject::CheckReport reports[2];
+  for (int run = 0; run < 2; ++run) {
+    ThreadGuard guard(run == 0 ? 1 : 4);
+    auto s = PhysicalSubnet::small_fat_tree();
+    s.sm->full_sweep();
+    // Break forwarding on purpose so the report carries violations whose
+    // order (and truncation point) must not depend on the thread count.
+    const NodeId leaf = s.built.leaves.front();
+    s.fabric.node(leaf).lft.clear();
+    const inject::FabricChecker checker(
+        *s.sm, inject::CheckerConfig{.max_violations = 5, .max_sources = 4});
+    reports[run] = checker.check();
+  }
+  EXPECT_FALSE(reports[0].clean());
+  EXPECT_EQ(reports[0].violations, reports[1].violations);
+  EXPECT_EQ(reports[0].truncated, reports[1].truncated);
+  EXPECT_EQ(reports[0].paths_traced, reports[1].paths_traced);
+  EXPECT_EQ(reports[0].sources_sampled, reports[1].sources_sampled);
+}
+
+TEST(ParallelDeterminism, ChaosDigestMatchesSingleThreaded) {
+  std::uint64_t digests[2] = {0, 1};
+  for (int run = 0; run < 2; ++run) {
+    ThreadGuard guard(run == 0 ? 1 : 4);
+    auto s = VirtualSubnet::small(core::LidScheme::kPrepopulated);
+    s.vsf->boot();
+    const auto report = inject::run_chaos(*s.vsf, /*seed=*/42, /*steps=*/24);
+    digests[run] = report.digest;
+    EXPECT_TRUE(report.all_converged);
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+// Regression: distribute_lfts() used to push blocks at switches the SM has
+// no path to, burning undeliverable sends every sweep. It must skip them —
+// exactly like reconverge() — and pick them up once they return.
+TEST(ParallelDeterminism, DistributeSkipsSeveredSwitches) {
+  auto s = PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+
+  // Sever one spine completely; its installed LFT is wiped, so a naive
+  // distribution would try (and fail) to reprogram it.
+  const NodeId spine = s.built.spines.back();
+  Node& sw = s.fabric.node(spine);
+  for (PortNum p = 1; p <= sw.num_ports(); ++p) {
+    if (sw.ports[p].connected()) s.fabric.disconnect(spine, p);
+  }
+  s.sm->transport().invalidate_topology();
+  sw.lft.clear();
+
+  const auto undeliverable_before = s.sm->transport().counters().undeliverable;
+  std::vector<Smp> stream;
+  s.sm->transport().set_smp_tap(&stream);
+  s.sm->distribute_lfts();
+  s.sm->transport().set_smp_tap(nullptr);
+
+  EXPECT_EQ(s.sm->transport().counters().undeliverable, undeliverable_before);
+  for (const Smp& smp : stream) {
+    EXPECT_NE(smp.target, spine) << "sent an SMP to a severed switch";
+  }
+}
+
+}  // namespace
+}  // namespace ibvs

@@ -143,6 +143,20 @@ TEST(Expect, EnsureThrowsLogicError) {
   EXPECT_NO_THROW(IBVS_ENSURE(true, "fine"));
 }
 
+TEST(ThreadPool, SetGlobalThreadsResizes) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global_thread_count(), 3u);
+  EXPECT_EQ(ThreadPool::global().size(), 3u);
+  // The resized pool still does work.
+  std::atomic<int> sum{0};
+  ThreadPool::global().parallel_for(0, 100,
+                                    [&](std::size_t i) { sum += int(i); });
+  EXPECT_EQ(sum.load(), 4950);
+  // 0 restores the default sizing chain.
+  ThreadPool::set_global_threads(0);
+  EXPECT_GE(ThreadPool::global_thread_count(), 1u);
+}
+
 TEST(Expect, MessageContainsContext) {
   try {
     IBVS_REQUIRE(1 == 2, "one is not two");
