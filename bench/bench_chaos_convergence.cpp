@@ -12,6 +12,8 @@
 // numbers. Identical seeds produce identical tables, digest included.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "bench/common.hpp"
 #include "inject/chaos.hpp"
 
@@ -20,6 +22,25 @@ namespace {
 using namespace ibvs;
 
 std::uint64_t g_seed = 7;  ///< default; override with --seed
+bool g_migration_faults = false;  ///< --migration-faults
+
+/// Strips the valueless `--migration-faults` flag from argv. When set, the
+/// chaos mix additionally kills migration destinations mid-flight and the
+/// master SM mid-batch, exercising rollback and journal replay.
+bool consume_migration_faults(int& argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--migration-faults") {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return found;
+}
 
 constexpr double kFaultRates[] = {0.0, 0.01, 0.05, 0.20};
 constexpr std::size_t kSteps = 12;
@@ -56,14 +77,17 @@ bench::VirtualBench make_tree(topology::PaperFatTree which) {
 void print_table() {
   std::printf(
       "\nChaos re-convergence: %zu seeded events per run (cuts, flaps, "
-      "switch kills, migrations), seed=%llu\n",
-      kSteps, static_cast<unsigned long long>(g_seed));
+      "switch kills, migrations%s), seed=%llu\n",
+      kSteps, g_migration_faults ? ", migration faults" : "",
+      static_cast<unsigned long long>(g_seed));
   std::printf("%-28s %7s %7s %7s %8s %9s %9s %13s %7s %5s %-18s\n", "tree",
               "drop-p", "events", "rounds", "smps", "retries", "timeouts",
               "time_us", "undeliv", "viol", "digest");
   bench::rule(128);
 
   std::size_t tree_idx = 0;
+  std::size_t txn_commits = 0;
+  std::size_t txn_rollbacks = 0;
   for (const auto which : bench::selected_paper_trees()) {
     for (std::size_t r = 0; r < std::size(kFaultRates); ++r) {
       auto b = make_tree(which);
@@ -74,7 +98,13 @@ void print_table() {
       config.seed = g_seed + 101 * tree_idx + r;
       config.steps = kSteps;
       config.mad_faults.drop_probability = kFaultRates[r];
+      if (g_migration_faults) {
+        config.weight_kill_dst_mid_migration = 2;
+        config.weight_kill_master_mid_reconfig = 2;
+      }
       const auto report = inject::run_chaos(cloud, injector, config);
+      txn_commits += report.migration_commits;
+      txn_rollbacks += report.migration_rollbacks;
       std::printf(
           "%-28s %7.2f %7zu %7zu %8llu %9llu %9llu %13.1f %7llu %5zu "
           "0x%016llx%s\n",
@@ -92,6 +122,12 @@ void print_table() {
     ++tree_idx;
   }
   bench::rule(128);
+  if (g_migration_faults) {
+    std::printf(
+        "migration txns under fault: committed=%zu rolled_back=%zu "
+        "(every transaction terminal)\n",
+        txn_commits, txn_rollbacks);
+  }
   std::printf(
       "Lossier fabrics pay in resends and response timeouts, not in "
       "correctness: the checker stays clean\nand every run re-converges. "
@@ -148,6 +184,7 @@ int main(int argc, char** argv) {
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
   ibvs::bench::consume_threads(argc, argv);
   g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
+  g_migration_faults = consume_migration_faults(argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -17,6 +17,9 @@ struct CloudMetrics {
   telemetry::Counter& migrations;
   telemetry::Histogram& migration_seconds;
   telemetry::Histogram& reconfig_us;
+  /// Orchestrations that never opened a transaction; committed/rolled_back
+  /// children of the same family are incremented by the vSwitch layer.
+  telemetry::Counter& migrations_failed;
 
   static CloudMetrics& get() {
     auto& reg = telemetry::Registry::global();
@@ -33,12 +36,26 @@ struct CloudMetrics {
             "ibvs_cloud_migration_reconfig_us", {},
             telemetry::HistogramOptions{.min_bound = 1.0, .num_buckets = 24},
             "IB reconfiguration share of each migration"),
+        reg.counter("ibvs_migrations_total", {{"outcome", "failed"}},
+                    "Migration transactions by terminal outcome"),
     };
     return m;
   }
 };
 
 }  // namespace
+
+const char* to_string(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kCommitted:
+      return "committed";
+    case TxnOutcome::kRolledBack:
+      return "rolled-back";
+    case TxnOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
 
 CloudOrchestrator::CloudOrchestrator(core::VSwitchFabric& fabric,
                                      Placement placement, FlowTiming timing)
@@ -108,6 +125,18 @@ std::vector<core::VmHandle> CloudOrchestrator::launch_vms(std::size_t count) {
 MigrationFlowReport CloudOrchestrator::migrate(
     core::VmHandle vm, std::size_t dst_hypervisor,
     const core::MigrationOptions& options) {
+  const auto& hyps = fabric_.hypervisors();
+  if (dst_hypervisor >= hyps.size()) {
+    throw core::MigrationError(core::MigrationErrc::kBadDestination,
+                               "hypervisor " + std::to_string(dst_hypervisor) +
+                                   " out of range (have " +
+                                   std::to_string(hyps.size()) + ")");
+  }
+  if (!fabric_.free_vf_on(dst_hypervisor)) {
+    throw core::MigrationError(
+        core::MigrationErrc::kNoFreeVf,
+        "no free VF on hypervisor " + std::to_string(dst_hypervisor));
+  }
   auto span = telemetry::Tracer::global().span("cloud.migrate");
   MigrationFlowReport report;
   // With a PerfMgr attached, bracket the flow with PMA snapshots of the
@@ -116,8 +145,6 @@ MigrationFlowReport CloudOrchestrator::migrate(
   std::vector<perf::PortKey> impact_keys;
   std::vector<perf::PortReading> before;
   if (perf_ != nullptr) {
-    const auto& hyps = fabric_.hypervisors();
-    IBVS_REQUIRE(dst_hypervisor < hyps.size(), "hypervisor out of range");
     const auto& src = hyps[fabric_.vm(vm).hypervisor];
     const auto& dst = hyps[dst_hypervisor];
     impact_keys = {{src.leaf, src.leaf_port}, {dst.leaf, dst.leaf_port}};
@@ -233,6 +260,174 @@ CloudOrchestrator::PlanExecution CloudOrchestrator::execute(
       auto report = migrate(request.vm, request.dst_hypervisor, options);
       round_max = std::max(round_max, report.total_s());
       exec.serial_s += report.total_s();
+      exec.reports.push_back(std::move(report));
+    }
+    exec.elapsed_s += round_max;
+  }
+  return exec;
+}
+
+std::optional<std::size_t> CloudOrchestrator::pick_fallback(
+    core::VmHandle vm, const std::vector<std::size_t>& exclude) const {
+  const std::size_t src = fabric_.vm(vm).hypervisor;
+  const auto& hyps = fabric_.hypervisors();
+  for (std::size_t h = 0; h < hyps.size(); ++h) {
+    if (h == src) continue;
+    if (std::find(exclude.begin(), exclude.end(), h) != exclude.end()) {
+      continue;
+    }
+    if (fabric_.free_vf_on(h) && hypervisor_attached(h)) return h;
+  }
+  return std::nullopt;
+}
+
+MigrationTxnReport CloudOrchestrator::migrate_txn(
+    core::VmHandle vm, std::size_t dst_hypervisor,
+    const core::MigrationOptions& options, const TxnPolicy& policy) {
+  auto span = telemetry::Tracer::global().span("cloud.migrate_txn");
+  MigrationTxnReport report;
+  report.dst_hypervisor = dst_hypervisor;
+  const std::size_t requested_dst = dst_hypervisor;
+  std::vector<std::size_t> tried;
+  bool opened_txn = false;
+
+  const auto enter = [&](core::MigrationTxn& txn, core::TxnState state) {
+    txn.state = state;
+    if (policy.on_step) policy.on_step(state, txn);
+  };
+
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    report.attempts = attempt;
+    if (attempt > 1) {
+      report.elapsed_s +=
+          policy.backoff_base_s * static_cast<double>(1ULL << (attempt - 2));
+    }
+    std::optional<core::MigrationTxn> txn;
+    try {
+      txn = fabric_.begin_migration(vm, dst_hypervisor, options);
+    } catch (const core::MigrationError& e) {
+      report.error = e.what();
+      const auto code = e.code();
+      const bool placement_issue =
+          code == core::MigrationErrc::kNoFreeVf ||
+          code == core::MigrationErrc::kBadDestination;
+      if (placement_issue && policy.allow_replacement) {
+        tried.push_back(dst_hypervisor);
+        if (const auto next = pick_fallback(vm, tried)) {
+          dst_hypervisor = *next;
+          continue;
+        }
+      }
+      break;  // unrecoverable without a destination
+    }
+    opened_txn = true;
+    try {
+      if (policy.on_step) policy.on_step(core::TxnState::kPrepared, *txn);
+      // §VII-B steps 1-2: detach the VF, pre-copy memory. These are
+      // wall-clock phases; the chaos hook may kill the destination at any
+      // of these edges and the next phase revalidates.
+      enter(*txn, core::TxnState::kDetached);
+      report.elapsed_s += timing_.detach_vf_s;
+      enter(*txn, core::TxnState::kCopied);
+      report.elapsed_s += timing_.memory_copy_s() + timing_.signal_s;
+      // Step 3: the SM reconfigures. Unreachable switches abort here
+      // rather than sending into the void.
+      fabric_.txn_move_addresses(*txn);
+      if (policy.on_step) {
+        policy.on_step(core::TxnState::kReconfiguring, *txn);
+      }
+      fabric_.txn_apply_lfts(
+          *txn, core::VSwitchFabric::ApplyOptions{.require_reachable = true});
+      const double reconfig_us =
+          txn->stats.lft_time_us + txn->stats.drain_time_us;
+      report.elapsed_s += reconfig_us * 1e-6;
+      // Per-step budget from the TimingModel: a batch slower than the
+      // worst-case reliable-MAD budget for every touched switch (plus the
+      // three address SMPs) means MADs are genuinely lost, not slow.
+      double budget_us = policy.reconfig_timeout_us;
+      if (budget_us <= 0.0) {
+        const auto& tm = fabric_.subnet_manager().transport().timing();
+        budget_us =
+            tm.mad_budget_us(8) *
+            static_cast<double>(txn->stats.switches_total + 3);
+      }
+      if (reconfig_us > budget_us) {
+        throw core::MigrationError(
+            core::MigrationErrc::kStepTimeout,
+            "reconfiguration took " + std::to_string(reconfig_us) +
+                "us against a budget of " + std::to_string(budget_us) + "us");
+      }
+      // Step 4: attach at the destination — which may have died since the
+      // copy; a dead destination cannot complete the hot-plug.
+      enter(*txn, core::TxnState::kAttached);
+      report.elapsed_s += timing_.attach_vf_s;
+      if (!hypervisor_attached(txn->dst_hypervisor)) {
+        throw core::MigrationError(
+            core::MigrationErrc::kDestinationDetached,
+            "hypervisor " + std::to_string(txn->dst_hypervisor) +
+                " died before the VF attach");
+      }
+      fabric_.txn_commit(*txn);
+      report.outcome = TxnOutcome::kCommitted;
+      report.dst_hypervisor = txn->dst_hypervisor;
+      report.replaced = txn->dst_hypervisor != requested_dst;
+      report.reconfig = txn->stats;
+      report.error.clear();
+      break;
+    } catch (const core::MigrationError& e) {
+      report.error = e.what();
+      if (!txn->terminal()) fabric_.txn_rollback(*txn);
+      report.rollback_smps += txn->rollback_smps;
+      report.elapsed_s += txn->rollback_time_us * 1e-6;
+      const auto code = e.code();
+      const bool retryable =
+          code == core::MigrationErrc::kDestinationDetached ||
+          code == core::MigrationErrc::kSwitchUnreachable ||
+          code == core::MigrationErrc::kStepTimeout ||
+          code == core::MigrationErrc::kInterrupted ||
+          code == core::MigrationErrc::kNoFreeVf;
+      if (!retryable) break;
+      if (policy.allow_replacement) {
+        tried.push_back(dst_hypervisor);
+        if (const auto next = pick_fallback(vm, tried)) {
+          dst_hypervisor = *next;
+        }
+        // No fallback: retry the same destination — it may come back.
+      }
+    }
+  }
+
+  if (report.outcome != TxnOutcome::kCommitted) {
+    report.outcome = opened_txn ? TxnOutcome::kRolledBack : TxnOutcome::kFailed;
+    if (!opened_txn) CloudMetrics::get().migrations_failed.inc();
+  }
+  span.set_attr("outcome", to_string(report.outcome));
+  span.set_attr("attempts", std::to_string(report.attempts));
+  return report;
+}
+
+CloudOrchestrator::TxnPlanExecution CloudOrchestrator::execute_txn(
+    const ParallelPlan& plan, const core::MigrationOptions& options,
+    const TxnPolicy& policy) {
+  TxnPlanExecution exec;
+  for (const auto& round : plan.rounds) {
+    double round_max = 0.0;
+    for (const auto& request : round) {
+      auto report =
+          migrate_txn(request.vm, request.dst_hypervisor, options, policy);
+      round_max = std::max(round_max, report.elapsed_s);
+      exec.serial_s += report.elapsed_s;
+      switch (report.outcome) {
+        case TxnOutcome::kCommitted:
+          ++exec.committed;
+          break;
+        case TxnOutcome::kRolledBack:
+          ++exec.rolled_back;
+          break;
+        case TxnOutcome::kFailed:
+          ++exec.failed;
+          break;
+      }
       exec.reports.push_back(std::move(report));
     }
     exec.elapsed_s += round_max;

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "core/migration_txn.hpp"
 #include "core/vswitch.hpp"
 #include "perf/perf_mgr.hpp"
 
@@ -69,6 +72,45 @@ struct ParallelPlan {
   }
 };
 
+/// Graceful-degradation policy for the transactional migration flow.
+struct TxnPolicy {
+  /// Total tries per migration, the first included.
+  std::size_t max_attempts = 3;
+  /// Attempt i (i >= 2) waits backoff_base_s * 2^(i-2) before retrying.
+  double backoff_base_s = 0.25;
+  /// On destination-side failures, re-place the VM on another hypervisor
+  /// instead of hammering the dead one.
+  bool allow_replacement = true;
+  /// Budget for the IB reconfiguration step, microseconds. 0 derives it
+  /// from the transport's TimingModel: the worst-case reliable-MAD budget
+  /// per touched switch, plus the three address SMPs.
+  double reconfig_timeout_us = 0.0;
+  /// Test/chaos hook, invoked as the transaction enters each state. The
+  /// hook may mutate the fabric (kill the destination, sever links) — the
+  /// flow revalidates after every edge.
+  std::function<void(core::TxnState, const core::MigrationTxn&)> on_step;
+};
+
+enum class TxnOutcome {
+  kCommitted,   ///< the VM runs at (some) destination
+  kRolledBack,  ///< all attempts undone; the VM runs at the source
+  kFailed,      ///< never opened a transaction (validation/placement)
+};
+
+[[nodiscard]] const char* to_string(TxnOutcome outcome);
+
+/// Result of one policy-driven migration (possibly several attempts).
+struct MigrationTxnReport {
+  TxnOutcome outcome = TxnOutcome::kFailed;
+  std::size_t attempts = 0;
+  std::size_t dst_hypervisor = 0;  ///< destination of the final attempt
+  bool replaced = false;           ///< destination differs from requested
+  double elapsed_s = 0.0;  ///< wall clock incl. backoff and failed attempts
+  core::ReconfigStats reconfig;     ///< stats of the final attempt
+  std::uint64_t rollback_smps = 0;  ///< undo cost across failed attempts
+  std::string error;                ///< last failure; empty when committed
+};
+
 class CloudOrchestrator {
  public:
   CloudOrchestrator(core::VSwitchFabric& fabric, Placement placement,
@@ -77,9 +119,21 @@ class CloudOrchestrator {
   /// Boots `count` VMs under the placement policy. Returns their handles.
   std::vector<core::VmHandle> launch_vms(std::size_t count);
 
-  /// The §VII-B four-step flow for one VM.
+  /// The §VII-B four-step flow for one VM. Destination bounds and VF
+  /// availability are validated up front with typed MigrationErrors.
   MigrationFlowReport migrate(core::VmHandle vm, std::size_t dst_hypervisor,
                               const core::MigrationOptions& options = {});
+
+  /// The same flow as an abortable transaction with bounded retries:
+  /// drives the vSwitch phases state by state, rolls back on attach
+  /// failure / step timeout / unreachable switch, backs off exponentially
+  /// and (policy permitting) re-places the VM on a fallback destination.
+  /// Always terminates with the fabric consistent: the returned outcome is
+  /// kCommitted or kRolledBack whenever a transaction was opened.
+  MigrationTxnReport migrate_txn(core::VmHandle vm,
+                                 std::size_t dst_hypervisor,
+                                 const core::MigrationOptions& options = {},
+                                 const TxnPolicy& policy = {});
 
   /// Predicts which physical switches a migration would update, from the
   /// SM's master tables, without executing anything. In kDeterministic mode
@@ -105,6 +159,21 @@ class CloudOrchestrator {
   PlanExecution execute(const ParallelPlan& plan,
                         const core::MigrationOptions& options = {});
 
+  /// Transactional plan execution: each member runs under migrate_txn, so
+  /// one failed member rolls back (or re-places) alone while the rest of
+  /// its round proceeds.
+  struct TxnPlanExecution {
+    double elapsed_s = 0.0;
+    double serial_s = 0.0;
+    std::size_t committed = 0;
+    std::size_t rolled_back = 0;
+    std::size_t failed = 0;
+    std::vector<MigrationTxnReport> reports;
+  };
+  TxnPlanExecution execute_txn(const ParallelPlan& plan,
+                               const core::MigrationOptions& options = {},
+                               const TxnPolicy& policy = {});
+
   [[nodiscard]] const FlowTiming& timing() const noexcept { return timing_; }
 
   /// The vSwitch fabric this orchestrator drives.
@@ -121,6 +190,10 @@ class CloudOrchestrator {
   /// Placement only considers hypervisors whose PF is physically attached:
   /// a host whose uplink (or leaf) is down cannot receive a VM.
   [[nodiscard]] bool hypervisor_attached(std::size_t h) const;
+  /// Fallback destination for a retried migration: any attached hypervisor
+  /// with a free VF that is neither the VM's source nor already tried.
+  [[nodiscard]] std::optional<std::size_t> pick_fallback(
+      core::VmHandle vm, const std::vector<std::size_t>& exclude) const;
 
   core::VSwitchFabric& fabric_;
   Placement placement_;

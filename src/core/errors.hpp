@@ -1,0 +1,65 @@
+// Typed migration errors.
+//
+// Migration failures are recoverable, policy-relevant events — the
+// orchestrator retries, re-places, or rolls back depending on *which* step
+// failed — so they carry a machine-readable code. MigrationError derives
+// from std::invalid_argument: every condition it reports is a caller-visible
+// precondition or environment failure (the IBVS_REQUIRE category), and
+// callers that only know the standard hierarchy keep catching it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ibvs::core {
+
+enum class MigrationErrc {
+  kUnknownVm,            ///< the VM handle does not name an active VM
+  kBadDestination,       ///< dst_hypervisor out of range
+  kSameHypervisor,       ///< destination equals the VM's current host
+  kNoFreeVf,             ///< destination has no free VF slot
+  kDestinationDetached,  ///< destination PF physically unreachable
+  kStepTimeout,          ///< a transaction step exceeded its budget
+  kSwitchUnreachable,    ///< a required switch became SM-unreachable
+  kInterrupted,          ///< the reconfiguration batch was cut short
+  kNotBooted,            ///< the fabric has not booted yet
+};
+
+[[nodiscard]] inline const char* to_string(MigrationErrc code) {
+  switch (code) {
+    case MigrationErrc::kUnknownVm:
+      return "unknown-vm";
+    case MigrationErrc::kBadDestination:
+      return "bad-destination";
+    case MigrationErrc::kSameHypervisor:
+      return "same-hypervisor";
+    case MigrationErrc::kNoFreeVf:
+      return "no-free-vf";
+    case MigrationErrc::kDestinationDetached:
+      return "destination-detached";
+    case MigrationErrc::kStepTimeout:
+      return "step-timeout";
+    case MigrationErrc::kSwitchUnreachable:
+      return "switch-unreachable";
+    case MigrationErrc::kInterrupted:
+      return "interrupted";
+    case MigrationErrc::kNotBooted:
+      return "not-booted";
+  }
+  return "?";
+}
+
+class MigrationError : public std::invalid_argument {
+ public:
+  MigrationError(MigrationErrc code, const std::string& message)
+      : std::invalid_argument("migration failed [" +
+                              std::string(to_string(code)) + "]: " + message),
+        code_(code) {}
+
+  [[nodiscard]] MigrationErrc code() const noexcept { return code_; }
+
+ private:
+  MigrationErrc code_;
+};
+
+}  // namespace ibvs::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/migration_txn.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/expect.hpp"
@@ -18,6 +19,9 @@ struct VSwitchMetrics {
   telemetry::Counter& switches_updated;
   telemetry::Counter& switches_skipped;
   telemetry::Counter& drain_passes;
+  telemetry::Counter& migrations_committed;
+  telemetry::Counter& migrations_rolled_back;
+  telemetry::Histogram& rollback_smps;
 
   static VSwitchMetrics& get() {
     auto& reg = telemetry::Registry::global();
@@ -31,6 +35,13 @@ struct VSwitchMetrics {
                     "Switches a reconfiguration left untouched (n - n')"),
         reg.counter("ibvs_vswitch_drain_passes_total", {},
                     "Port-255 drain passes before reconfiguration (§VI-C)"),
+        reg.counter("ibvs_migrations_total", {{"outcome", "committed"}},
+                    "Migration transactions by terminal outcome"),
+        reg.counter("ibvs_migrations_total", {{"outcome", "rolled_back"}}),
+        reg.histogram("ibvs_migration_rollback_smps", {},
+                      telemetry::HistogramOptions{.min_bound = 1.0,
+                                                  .num_buckets = 12},
+                      "SMPs spent undoing an aborted migration"),
     };
     return m;
   }
@@ -43,10 +54,33 @@ std::string to_string(LidScheme scheme) {
                                             : "dynamic-lid-assignment";
 }
 
+std::string to_string(TxnState state) {
+  switch (state) {
+    case TxnState::kPrepared:
+      return "prepared";
+    case TxnState::kDetached:
+      return "detached";
+    case TxnState::kCopied:
+      return "copied";
+    case TxnState::kReconfiguring:
+      return "reconfiguring";
+    case TxnState::kAttached:
+      return "attached";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kRolledBack:
+      return "rolled-back";
+  }
+  return "?";
+}
+
 VSwitchFabric::VSwitchFabric(sm::SubnetManager& sm,
                              std::vector<VirtualHca> hypervisors,
                              LidScheme scheme)
-    : sm_(sm), hypervisors_(std::move(hypervisors)), scheme_(scheme) {
+    : sm_(&sm),
+      fabric_(&sm.fabric()),
+      hypervisors_(std::move(hypervisors)),
+      scheme_(scheme) {
   IBVS_REQUIRE(!hypervisors_.empty(), "at least one hypervisor required");
   slots_.resize(hypervisors_.size());
   for (std::size_t h = 0; h < hypervisors_.size(); ++h) {
@@ -60,22 +94,22 @@ sm::SweepReport VSwitchFabric::boot() {
       "vswitch.boot", {{"scheme", to_string(scheme_)},
                        {"hypervisors", std::to_string(hypervisors_.size())}});
   sm::SweepReport report;
-  report.discovery = sm_.discover();
-  report.lids_assigned = sm_.assign_lids();
+  report.discovery = sm_->discover();
+  report.lids_assigned = sm_->assign_lids();
   if (scheme_ == LidScheme::kPrepopulated) {
     // §V-A: initialize *all* VFs with LIDs, used or not. This is what blows
     // up the initial path computation — and what makes later migrations a
     // pure swap.
     for (const auto& hyp : hypervisors_) {
       for (NodeId vf : hyp.vfs) {
-        sm_.assign_lid(vf, 1);
+        sm_->assign_lid(vf, 1);
         ++report.lids_assigned;
       }
     }
   }
-  sm_.compute_routes();
-  report.path_computation_seconds = sm_.routing_result().compute_seconds;
-  report.distribution = sm_.distribute_lfts();
+  sm_->compute_routes();
+  report.path_computation_seconds = sm_->routing_result().compute_seconds;
+  report.distribution = sm_->distribute_lfts();
   booted_ = true;
   IBVS_INFO("vswitch") << "booted " << to_string(scheme_) << ": "
                        << report.discovery.nodes_found << " nodes, "
@@ -85,7 +119,7 @@ sm::SweepReport VSwitchFabric::boot() {
 }
 
 Lid VSwitchFabric::pf_lid(std::size_t hypervisor) const {
-  return sm_.fabric().node(hypervisors_[hypervisor].pf).lid();
+  return sm_->fabric().node(hypervisors_[hypervisor].pf).lid();
 }
 
 std::optional<std::size_t> VSwitchFabric::free_vf_on(
@@ -121,8 +155,8 @@ CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
   const auto vf_idx = free_vf_on(h);
   IBVS_REQUIRE(vf_idx.has_value(), "no free VF on that hypervisor");
 
-  Fabric& fabric = sm_.fabric();
-  auto& transport = sm_.transport();
+  Fabric& fabric = sm_->fabric();
+  auto& transport = sm_->transport();
   const VirtualHca& hyp = hypervisors_[h];
   const NodeId vf = hyp.vfs[*vf_idx];
 
@@ -146,24 +180,24 @@ CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
   } else {
     // §V-B: next free LID; no path computation — copy the PF's forwarding
     // entry into every physical switch, one SMP each.
-    vm.lid = sm_.lids().assign_next(fabric, vf, 1);
+    vm.lid = sm_->lids().assign_next(fabric, vf, 1);
     transport.send_vf_lid_assign(hyp.pf, static_cast<PortNum>(*vf_idx),
                                  vm.lid);
     ++report.hypervisor_smps;
 
     const Lid pf = pf_lid(h);
-    const auto& routing = sm_.routing_result();
+    const auto& routing = sm_->routing_result();
     transport.begin_batch();
     for (routing::SwitchIdx s = 0; s < routing.graph.num_switches(); ++s) {
       const PortNum pf_port = routing.lfts[s].get(pf);
       if (routing.lfts[s].get(vm.lid) == pf_port) continue;
-      sm_.update_master_entry(s, vm.lid, pf_port);
-      report.lft_smps += sm_.push_dirty_blocks(s, SmpRouting::kLidRouted);
+      sm_->update_master_entry(s, vm.lid, pf_port);
+      report.lft_smps += sm_->push_dirty_blocks(s, SmpRouting::kLidRouted);
     }
     report.time_us = transport.end_batch();
-    sm_.bump_generation();
+    sm_->bump_generation();
   }
-  sm_.refresh_targets();
+  sm_->refresh_targets();
 
   slots_[h][*vf_idx].vm = vm.id;
   report.vm = VmHandle{vm.id};
@@ -175,7 +209,7 @@ CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
 
 void VSwitchFabric::destroy_vm(VmHandle handle) {
   Vm& vm = vm_mutable(handle);
-  Fabric& fabric = sm_.fabric();
+  Fabric& fabric = sm_->fabric();
   const VirtualHca& hyp = hypervisors_[vm.hypervisor];
   const NodeId vf = hyp.vfs[vm.vf_index];
   fabric.node(vf).alias_guid = kInvalidGuid;
@@ -183,77 +217,142 @@ void VSwitchFabric::destroy_vm(VmHandle handle) {
     // Release the LID; stale LFT entries are left behind deliberately (they
     // are overwritten when the LID is reused — scrubbing would cost one SMP
     // per switch for no functional gain).
-    sm_.lids().release(fabric, vm.lid);
-    sm_.transport().send_vf_lid_assign(hyp.pf,
+    sm_->lids().release(fabric, vm.lid);
+    sm_->transport().send_vf_lid_assign(hyp.pf,
                                        static_cast<PortNum>(vm.vf_index),
                                        kInvalidLid);
-    sm_.refresh_targets();
+    sm_->refresh_targets();
   }
   slots_[vm.hypervisor][vm.vf_index].vm = 0;
   vms_.erase(handle.id);
 }
 
-MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
-                                          std::size_t dst_hypervisor,
-                                          const MigrationOptions& options) {
-  IBVS_REQUIRE(booted_, "boot() first");
-  Vm& vm = vm_mutable(handle);
-  IBVS_REQUIRE(dst_hypervisor < hypervisors_.size(),
-               "hypervisor out of range");
-  IBVS_REQUIRE(dst_hypervisor != vm.hypervisor,
-               "destination equals source hypervisor");
+MigrationTxn VSwitchFabric::begin_migration(VmHandle handle,
+                                            std::size_t dst_hypervisor,
+                                            const MigrationOptions& options) {
+  if (!booted_) {
+    throw MigrationError(MigrationErrc::kNotBooted, "boot() first");
+  }
+  const auto it = vms_.find(handle.id);
+  if (it == vms_.end()) {
+    throw MigrationError(MigrationErrc::kUnknownVm,
+                         "vm " + std::to_string(handle.id));
+  }
+  Vm& vm = it->second;
+  if (dst_hypervisor >= hypervisors_.size()) {
+    throw MigrationError(MigrationErrc::kBadDestination,
+                         "hypervisor " + std::to_string(dst_hypervisor) +
+                             " out of range (have " +
+                             std::to_string(hypervisors_.size()) + ")");
+  }
+  if (dst_hypervisor == vm.hypervisor) {
+    throw MigrationError(MigrationErrc::kSameHypervisor,
+                         "destination equals source hypervisor");
+  }
   const auto dst_vf_idx = free_vf_on(dst_hypervisor);
-  IBVS_REQUIRE(dst_vf_idx.has_value(), "no free VF on the destination");
+  if (!dst_vf_idx) {
+    throw MigrationError(
+        MigrationErrc::kNoFreeVf,
+        "no free VF on hypervisor " + std::to_string(dst_hypervisor));
+  }
 
-  auto span = telemetry::Tracer::global().span(
-      "vswitch.migrate", {{"scheme", to_string(scheme_)}});
-  Fabric& fabric = sm_.fabric();
-  auto& transport = sm_.transport();
-  const std::size_t src_hypervisor = vm.hypervisor;
-  const VirtualHca& src = hypervisors_[src_hypervisor];
+  const VirtualHca& src = hypervisors_[vm.hypervisor];
   const VirtualHca& dst = hypervisors_[dst_hypervisor];
-  const NodeId vf_src = src.vfs[vm.vf_index];
-  const NodeId vf_dst = dst.vfs[*dst_vf_idx];
+  MigrationTxn txn;
+  txn.vm = handle;
+  txn.src_hypervisor = vm.hypervisor;
+  txn.dst_hypervisor = dst_hypervisor;
+  txn.src_vf_index = vm.vf_index;
+  txn.dst_vf_index = *dst_vf_idx;
+  txn.vm_lid = vm.lid;
+  txn.vguid = vm.vguid;
+  txn.options = options;
+  txn.intra_leaf = src.leaf == dst.leaf;
+  if (scheme_ == LidScheme::kPrepopulated) {
+    txn.swapped_lid = sm_->fabric().node(dst.vfs[*dst_vf_idx]).lid();
+    IBVS_ENSURE(txn.swapped_lid.valid(), "destination VF lost its LID");
+  }
 
-  MigrationReport report;
-  report.vm = vm.id;
-  report.src_hypervisor = src_hypervisor;
-  report.dst_hypervisor = dst_hypervisor;
-  report.vm_lid = vm.lid;
-  report.intra_leaf = src.leaf == dst.leaf;
+  // Open the write-ahead record: durable identities for the SM (a new
+  // master replays by NodeId/Lid), orchestrator tags for reconciliation.
+  sm::MigrationRecord record;
+  record.vm_id = vm.id;
+  record.vm_lid = vm.lid;
+  record.swapped_lid = txn.swapped_lid;
+  record.vguid = vm.vguid;
+  record.src_vf = src.vfs[vm.vf_index];
+  record.dst_vf = dst.vfs[*dst_vf_idx];
+  record.src_pf = src.pf;
+  record.dst_pf = dst.pf;
+  record.src_vf_slot = static_cast<PortNum>(vm.vf_index);
+  record.dst_vf_slot = static_cast<PortNum>(*dst_vf_idx);
+  record.src_hypervisor = vm.hypervisor;
+  record.dst_hypervisor = dst_hypervisor;
+  record.src_vf_index = vm.vf_index;
+  record.dst_vf_index = *dst_vf_idx;
+  txn.id = journal_.begin(std::move(record));
+  return txn;
+}
+
+void VSwitchFabric::txn_move_addresses(MigrationTxn& txn) {
+  IBVS_REQUIRE(!txn.terminal() && !txn.addresses_moved,
+               "addresses move at most once, before a terminal state");
+  Fabric& fabric = sm_->fabric();
+  auto& transport = sm_->transport();
+  const VirtualHca& src = hypervisors_[txn.src_hypervisor];
+  const VirtualHca& dst = hypervisors_[txn.dst_hypervisor];
+  if (!fabric.physical_attachment(dst.pf)) {
+    // Nothing sent yet; the caller rolls the (empty) transaction back.
+    throw MigrationError(MigrationErrc::kDestinationDetached,
+                         "hypervisor " + std::to_string(txn.dst_hypervisor) +
+                             " is physically detached");
+  }
+  const NodeId vf_src = src.vfs[txn.src_vf_index];
+  const NodeId vf_dst = dst.vfs[txn.dst_vf_index];
+
+  // Write-ahead: the journal learns the addresses are moving before the
+  // first SMP leaves the SM.
+  journal_.record_addresses_moved(txn.id);
 
   // ---- Step (a): migrate the IB addresses (§V-C a). One SMP per
   // participating hypervisor for the LID, one for the vGUID. ----
-  transport.send_vf_lid_assign(src.pf, static_cast<PortNum>(vm.vf_index),
-                               kInvalidLid, options.smp_routing);
-  transport.send_vf_lid_assign(dst.pf, static_cast<PortNum>(*dst_vf_idx),
-                               vm.lid, options.smp_routing);
-  report.reconfig.hypervisor_lid_smps = 2;
+  transport.send_vf_lid_assign(src.pf, static_cast<PortNum>(txn.src_vf_index),
+                               kInvalidLid, txn.options.smp_routing);
+  transport.send_vf_lid_assign(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
+                               txn.vm_lid, txn.options.smp_routing);
+  txn.stats.hypervisor_lid_smps = 2;
   fabric.node(vf_src).alias_guid = kInvalidGuid;
-  fabric.node(vf_dst).alias_guid = vm.vguid;
-  transport.send_guid_info(dst.pf, static_cast<PortNum>(*dst_vf_idx),
-                           vm.vguid, options.smp_routing);
-  report.reconfig.guid_smps = 1;
+  fabric.node(vf_dst).alias_guid = txn.vguid;
+  transport.send_guid_info(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
+                           txn.vguid, txn.options.smp_routing);
+  txn.stats.guid_smps = 1;
 
-  const Lid vm_lid = vm.lid;
-  Lid swapped_lid;  // prepopulated only
   if (scheme_ == LidScheme::kPrepopulated) {
-    swapped_lid = fabric.node(vf_dst).lid();
-    IBVS_ENSURE(swapped_lid.valid(), "destination VF lost its LID");
     // Swap the two LIDs' owners; the VM keeps vm_lid at the destination,
     // the destination VF's old LID moves to the vacated source VF.
-    sm_.lids().move(fabric, vm_lid, vf_dst, 1);
-    sm_.lids().move(fabric, swapped_lid, vf_src, 1);
+    sm_->lids().move(fabric, txn.vm_lid, vf_dst, 1);
+    sm_->lids().move(fabric, txn.swapped_lid, vf_src, 1);
   } else {
-    sm_.lids().move(fabric, vm_lid, vf_dst, 1);
+    sm_->lids().move(fabric, txn.vm_lid, vf_dst, 1);
   }
-  report.swapped_lid = swapped_lid;
-  sm_.refresh_targets();
+  sm_->refresh_targets();
+  txn.addresses_moved = true;
+  txn.state = TxnState::kReconfiguring;
+}
+
+void VSwitchFabric::txn_apply_lfts(MigrationTxn& txn,
+                                   const ApplyOptions& apply) {
+  IBVS_REQUIRE(txn.state == TxnState::kReconfiguring && txn.addresses_moved,
+               "move the addresses before applying LFTs");
+  Fabric& fabric = sm_->fabric();
+  auto& transport = sm_->transport();
+  const Lid vm_lid = txn.vm_lid;
+  const Lid swapped_lid = txn.swapped_lid;
 
   // ---- Step (b): update the LFTs (§V-C b). ----
-  const auto& routing = sm_.routing_result();
+  const auto& routing = sm_->routing_result();
   const std::size_t s_count = routing.graph.num_switches();
-  report.reconfig.switches_total = s_count;
+  txn.stats.switches_total = s_count;
 
   // Plan the new entries.
   last_delta_ = EntryDelta{};
@@ -264,7 +363,7 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
     swap_delta.old_entry.resize(s_count);
     swap_delta.new_entry.resize(s_count);
   }
-  const Lid dst_pf = pf_lid(dst_hypervisor);
+  const Lid dst_pf = pf_lid(txn.dst_hypervisor);
   for (routing::SwitchIdx s = 0; s < s_count; ++s) {
     const PortNum p_vm = routing.lfts[s].get(vm_lid);
     last_delta_.old_entry[s] = p_vm;
@@ -286,14 +385,14 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   // switches use new entries, the rest keep old ones" for that LID —
   // applying one LID's new entries outside its own set would create
   // old/new hybrids the fixpoint never validated (and can loop).
-  const auto vm_attach = sm_.lids().attachment(fabric, vm_lid);
+  const auto vm_attach = sm_->lids().attachment(fabric, vm_lid);
   IBVS_ENSURE(vm_attach.has_value(), "migrated VM is not attached");
   const std::vector<routing::SwitchIdx> minimal_vm = minimal_update_set(
       routing.graph, last_delta_, routing.graph.dense(vm_attach->first),
       vm_attach->second);
   std::vector<routing::SwitchIdx> minimal_vf;
   if (scheme_ == LidScheme::kPrepopulated) {
-    const auto vf_attach = sm_.lids().attachment(fabric, swapped_lid);
+    const auto vf_attach = sm_->lids().attachment(fabric, swapped_lid);
     IBVS_ENSURE(vf_attach.has_value(), "swapped VF LID is not attached");
     minimal_vf = minimal_update_set(
         routing.graph, swap_delta, routing.graph.dense(vf_attach->first),
@@ -302,12 +401,12 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   std::vector<routing::SwitchIdx> minimal_union;
   std::set_union(minimal_vm.begin(), minimal_vm.end(), minimal_vf.begin(),
                  minimal_vf.end(), std::back_inserter(minimal_union));
-  report.minimal_set_size = minimal_union.size();
+  txn.minimal_set_size = minimal_union.size();
 
   // Select the per-LID update sets.
   std::vector<routing::SwitchIdx> vm_set;
   std::vector<routing::SwitchIdx> vf_set;
-  if (options.mode == ReconfigMode::kMinimal) {
+  if (txn.options.mode == ReconfigMode::kMinimal) {
     vm_set = minimal_vm;
     vf_set = minimal_vf;
   } else {
@@ -328,59 +427,258 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   for (routing::SwitchIdx s : vm_set) in_vm_set[s] = true;
   for (routing::SwitchIdx s : vf_set) in_vf_set[s] = true;
 
+  // Write-ahead: the full planned delta set (both LIDs, logical old -> new,
+  // keyed by durable NodeId) reaches the journal before the first drain or
+  // swap/copy SMP goes out.
+  std::vector<sm::LftDelta> planned;
+  planned.reserve(update_set.size() * 2);
+  for (routing::SwitchIdx s : update_set) {
+    const NodeId sw = routing.graph.switches[s];
+    if (in_vm_set[s]) {
+      planned.push_back(
+          {sw, vm_lid, last_delta_.old_entry[s], last_delta_.new_entry[s]});
+    }
+    if (in_vf_set[s]) {
+      planned.push_back(
+          {sw, swapped_lid, swap_delta.old_entry[s], swap_delta.new_entry[s]});
+    }
+  }
+  journal_.record_deltas(txn.id, std::move(planned));
+
   // Optional drain pass (§VI-C): drop traffic for the VM LID on every
   // switch about to change, one SMP each, before the real update.
-  if (options.drain_first && !vm_set.empty()) {
+  if (txn.options.drain_first && !vm_set.empty()) {
     VSwitchMetrics::get().drain_passes.inc();
     transport.begin_batch();
     for (routing::SwitchIdx s : vm_set) {
-      sm_.update_master_entry(s, vm_lid, kDropPort);
-      report.reconfig.drain_smps +=
-          sm_.push_dirty_blocks(s, options.smp_routing);
+      if (apply.require_reachable &&
+          !transport.hops_to(routing.graph.switches[s])) {
+        txn.stats.drain_time_us += transport.end_batch();
+        throw MigrationError(MigrationErrc::kSwitchUnreachable,
+                             fabric.node(routing.graph.switches[s]).name +
+                                 " unreachable during the drain pass");
+      }
+      txn.applied.push_back({routing.graph.switches[s], vm_lid,
+                             routing.lfts[s].get(vm_lid), kDropPort});
+      sm_->update_master_entry(s, vm_lid, kDropPort);
+      txn.stats.drain_smps +=
+          sm_->push_dirty_blocks(s, txn.options.smp_routing);
+      if (txn.stats.drain_smps + txn.stats.lft_smps >=
+          apply.abort_after_smps) {
+        txn.stats.drain_time_us += transport.end_batch();
+        throw MigrationError(MigrationErrc::kInterrupted,
+                             "reconfiguration batch cut short mid-drain");
+      }
     }
-    report.reconfig.drain_time_us = transport.end_batch();
+    txn.stats.drain_time_us += transport.end_batch();
   }
 
   // The real update: 1 SMP per touched block — for a swap that is 1 when
   // both LIDs share a 64-LID block, else 2 (Fig. 5); for a copy always 1.
+  // txn.applied captures the entry value actually in place immediately
+  // before each write (kDropPort on drained switches), so rollback can
+  // restore the exact prior bytes by replaying inverses in reverse.
   transport.begin_batch();
   for (routing::SwitchIdx s : update_set) {
+    if (apply.require_reachable &&
+        !transport.hops_to(routing.graph.switches[s])) {
+      txn.stats.lft_time_us += transport.end_batch();
+      throw MigrationError(MigrationErrc::kSwitchUnreachable,
+                           fabric.node(routing.graph.switches[s]).name +
+                               " unreachable during reconfiguration");
+    }
     if (in_vm_set[s]) {
-      sm_.update_master_entry(s, vm_lid, last_delta_.new_entry[s]);
+      txn.applied.push_back({routing.graph.switches[s], vm_lid,
+                             routing.lfts[s].get(vm_lid),
+                             last_delta_.new_entry[s]});
+      sm_->update_master_entry(s, vm_lid, last_delta_.new_entry[s]);
     }
     if (in_vf_set[s]) {
-      sm_.update_master_entry(s, swapped_lid, swap_delta.new_entry[s]);
+      txn.applied.push_back({routing.graph.switches[s], swapped_lid,
+                             routing.lfts[s].get(swapped_lid),
+                             swap_delta.new_entry[s]});
+      sm_->update_master_entry(s, swapped_lid, swap_delta.new_entry[s]);
     }
-    report.reconfig.lft_smps += sm_.push_dirty_blocks(s, options.smp_routing);
+    txn.stats.lft_smps += sm_->push_dirty_blocks(s, txn.options.smp_routing);
+    if (txn.stats.drain_smps + txn.stats.lft_smps >= apply.abort_after_smps) {
+      txn.stats.lft_time_us += transport.end_batch();
+      throw MigrationError(MigrationErrc::kInterrupted,
+                           "reconfiguration batch cut short mid-update");
+    }
   }
-  report.reconfig.lft_time_us = transport.end_batch();
-  report.reconfig.switches_updated = update_set.size();
-  sm_.bump_generation();
+  txn.stats.lft_time_us += transport.end_batch();
+  txn.stats.switches_updated = update_set.size();
+  sm_->bump_generation();
 
   auto& metrics = VSwitchMetrics::get();
   (scheme_ == LidScheme::kPrepopulated ? metrics.reconfig_swap
                                        : metrics.reconfig_copy)
       .inc();
-  metrics.switches_updated.inc(report.reconfig.switches_updated);
-  metrics.switches_skipped.inc(report.reconfig.switches_total -
-                               report.reconfig.switches_updated);
+  metrics.switches_updated.inc(txn.stats.switches_updated);
+  metrics.switches_skipped.inc(txn.stats.switches_total -
+                               txn.stats.switches_updated);
+}
+
+void VSwitchFabric::txn_rollback(MigrationTxn& txn) {
+  IBVS_REQUIRE(!txn.terminal(), "transaction already terminal");
+  Fabric& fabric = sm_->fabric();
+  auto& transport = sm_->transport();
+  const auto& routing = sm_->routing_result();
+
+  // Inverse LFT deltas, newest first: undoing in reverse restores the
+  // pre-transaction bytes exactly, drain writes included.
+  if (!txn.applied.empty()) {
+    std::vector<routing::SwitchIdx> touched;
+    for (auto it = txn.applied.rbegin(); it != txn.applied.rend(); ++it) {
+      const routing::SwitchIdx s = routing.graph.dense(it->switch_node);
+      if (s == routing::kNoSwitch) continue;
+      sm_->update_master_entry(s, it->lid, it->old_port);
+      if (std::find(touched.begin(), touched.end(), s) == touched.end()) {
+        touched.push_back(s);
+      }
+    }
+    transport.begin_batch();
+    for (routing::SwitchIdx s : touched) {
+      txn.rollback_smps += sm_->push_dirty_blocks(s, txn.options.smp_routing);
+    }
+    txn.rollback_time_us += transport.end_batch();
+  }
+
+  // Re-attach the VF at the source: reverse of step (a).
+  if (txn.addresses_moved) {
+    const VirtualHca& src = hypervisors_[txn.src_hypervisor];
+    const VirtualHca& dst = hypervisors_[txn.dst_hypervisor];
+    const NodeId vf_src = src.vfs[txn.src_vf_index];
+    const NodeId vf_dst = dst.vfs[txn.dst_vf_index];
+    sm_->lids().move(fabric, txn.vm_lid, vf_src, 1);
+    if (txn.swapped_lid.valid()) {
+      sm_->lids().move(fabric, txn.swapped_lid, vf_dst, 1);
+    }
+    fabric.node(vf_src).alias_guid = txn.vguid;
+    fabric.node(vf_dst).alias_guid = kInvalidGuid;
+    transport.begin_batch();
+    transport.send_vf_lid_assign(src.pf,
+                                 static_cast<PortNum>(txn.src_vf_index),
+                                 txn.vm_lid, txn.options.smp_routing);
+    transport.send_vf_lid_assign(
+        dst.pf, static_cast<PortNum>(txn.dst_vf_index),
+        txn.swapped_lid.valid() ? txn.swapped_lid : kInvalidLid,
+        txn.options.smp_routing);
+    transport.send_guid_info(src.pf, static_cast<PortNum>(txn.src_vf_index),
+                             txn.vguid, txn.options.smp_routing);
+    txn.rollback_smps += 3;
+    txn.rollback_time_us += transport.end_batch();
+    sm_->refresh_targets();
+    txn.addresses_moved = false;
+  }
+  sm_->bump_generation();
+
+  journal_.roll_back(txn.id);
+  if (auto* record = journal_.find(txn.id)) record->reconciled = true;
+  txn.state = TxnState::kRolledBack;
+  auto& metrics = VSwitchMetrics::get();
+  metrics.migrations_rolled_back.inc();
+  metrics.rollback_smps.observe(static_cast<double>(txn.rollback_smps));
+  IBVS_INFO("vswitch") << "rolled back migration of vm " << txn.vm.id
+                       << " to hyp " << txn.dst_hypervisor << ": "
+                       << txn.rollback_smps << " SMPs to undo";
+}
+
+void VSwitchFabric::txn_commit(MigrationTxn& txn) {
+  IBVS_REQUIRE(txn.state == TxnState::kReconfiguring ||
+                   txn.state == TxnState::kAttached,
+               "commit follows reconfiguration");
+  Vm& vm = vm_mutable(txn.vm);
+  slots_[txn.src_hypervisor][txn.src_vf_index].vm = 0;
+  slots_[txn.dst_hypervisor][txn.dst_vf_index].vm = vm.id;
+  vm.hypervisor = txn.dst_hypervisor;
+  vm.vf_index = txn.dst_vf_index;
+  journal_.commit(txn.id);
+  if (auto* record = journal_.find(txn.id)) record->reconciled = true;
+  txn.state = TxnState::kCommitted;
+  VSwitchMetrics::get().migrations_committed.inc();
+}
+
+VSwitchFabric::ReconcileReport VSwitchFabric::reconcile_with_journal() {
+  ReconcileReport report;
+  auto& metrics = VSwitchMetrics::get();
+  for (const sm::MigrationRecord& r : journal_.records()) {
+    if (r.reconciled || r.state == sm::RecordState::kInFlight) continue;
+    const auto it = vms_.find(r.vm_id);
+    if (it != vms_.end()) {
+      Vm& vm = it->second;
+      if (r.state == sm::RecordState::kCommitted &&
+          (vm.hypervisor != r.dst_hypervisor ||
+           vm.vf_index != r.dst_vf_index)) {
+        slots_[r.src_hypervisor][r.src_vf_index].vm = 0;
+        slots_[r.dst_hypervisor][r.dst_vf_index].vm = vm.id;
+        vm.hypervisor = r.dst_hypervisor;
+        vm.vf_index = r.dst_vf_index;
+      }
+      // A rolled-back record needs no fixup: the transaction path only
+      // advances the slot bookkeeping at commit, so the VM still sits at
+      // the source.
+    }
+    if (r.state == sm::RecordState::kCommitted) {
+      ++report.committed;
+      metrics.migrations_committed.inc();
+    } else {
+      ++report.rolled_back;
+      metrics.migrations_rolled_back.inc();
+    }
+    journal_.find(r.id)->reconciled = true;
+  }
+  return report;
+}
+
+void VSwitchFabric::adopt_subnet_manager(sm::SubnetManager& sm) {
+  // Compare against the fabric captured at construction: the previous SM may
+  // already be destroyed (SmElection replaces it on takeover), so sm_ must
+  // not be dereferenced here.
+  IBVS_REQUIRE(&sm.fabric() == fabric_,
+               "the adopting SM must manage the same fabric");
+  IBVS_REQUIRE(sm.has_routing(),
+               "the adopting SM must have swept the subnet first");
+  sm_ = &sm;
+}
+
+MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
+                                          std::size_t dst_hypervisor,
+                                          const MigrationOptions& options) {
+  MigrationTxn txn = begin_migration(handle, dst_hypervisor, options);
+  auto span = telemetry::Tracer::global().span(
+      "vswitch.migrate", {{"scheme", to_string(scheme_)}});
+  try {
+    txn_move_addresses(txn);
+    txn_apply_lfts(txn);
+  } catch (...) {
+    // One-shot semantics with an undo: any mid-flight failure restores the
+    // source placement before surfacing to the caller.
+    txn_rollback(txn);
+    throw;
+  }
+  txn_commit(txn);
+
+  MigrationReport report;
+  report.vm = handle.id;
+  report.src_hypervisor = txn.src_hypervisor;
+  report.dst_hypervisor = txn.dst_hypervisor;
+  report.vm_lid = txn.vm_lid;
+  report.swapped_lid = txn.swapped_lid;
+  report.intra_leaf = txn.intra_leaf;
+  report.reconfig = txn.stats;
+  report.minimal_set_size = txn.minimal_set_size;
   span.set_attr("intra_leaf", report.intra_leaf ? "true" : "false");
   span.set_attr("switches_updated",
                 std::to_string(report.reconfig.switches_updated));
   span.set_attr("lft_smps", std::to_string(report.reconfig.lft_smps));
 
-  IBVS_DEBUG("vswitch") << "migrated vm " << vm.id << " hyp "
-                        << src_hypervisor << " -> " << dst_hypervisor
+  IBVS_DEBUG("vswitch") << "migrated vm " << handle.id << " hyp "
+                        << report.src_hypervisor << " -> " << dst_hypervisor
                         << " (" << to_string(scheme_) << "): updated "
                         << report.reconfig.switches_updated << "/"
                         << report.reconfig.switches_total << " switches, "
                         << report.reconfig.lft_smps << " LFT SMPs";
-
-  // ---- Bookkeeping: reattach on the destination. ----
-  slots_[src_hypervisor][vm.vf_index].vm = 0;
-  slots_[dst_hypervisor][*dst_vf_idx].vm = vm.id;
-  vm.hypervisor = dst_hypervisor;
-  vm.vf_index = *dst_vf_idx;
   return report;
 }
 
@@ -391,37 +689,37 @@ VSwitchFabric::HotAddReport VSwitchFabric::add_hypervisor(
   HotAddReport report;
   report.hypervisor = hypervisors_.size();
   hypervisors_.push_back(
-      attach_hypervisor(sm_.fabric(), slot, num_vfs, name));
+      attach_hypervisor(sm_->fabric(), slot, num_vfs, name));
   slots_.emplace_back(num_vfs);
-  sm_.transport().invalidate_topology();
+  sm_->transport().invalidate_topology();
 
   // Address the newcomer: PF always; all VFs too under prepopulation.
   const VirtualHca& hyp = hypervisors_.back();
-  sm_.assign_lid(hyp.pf, 1);
+  sm_->assign_lid(hyp.pf, 1);
   ++report.lids_assigned;
   if (scheme_ == LidScheme::kPrepopulated) {
     for (NodeId vf : hyp.vfs) {
-      sm_.assign_lid(vf, 1);
+      sm_->assign_lid(vf, 1);
       ++report.lids_assigned;
     }
   }
   // Mirror the PF LID onto the vSwitch (shared, §V-A).
-  sm_.fabric().set_lid(hyp.vswitch, 0,
-                       sm_.fabric().node(hyp.pf).lid());
+  sm_->fabric().set_lid(hyp.vswitch, 0,
+                       sm_->fabric().node(hyp.pf).lid());
 
   // A new attachment point means real path computation — no shortcut.
-  sm_.compute_routes();
-  report.path_computation_seconds = sm_.routing_result().compute_seconds;
-  report.distribution = sm_.distribute_lfts();
+  sm_->compute_routes();
+  report.path_computation_seconds = sm_->routing_result().compute_seconds;
+  report.distribution = sm_->distribute_lfts();
   return report;
 }
 
 sm::SweepReport VSwitchFabric::full_reconfigure() {
   IBVS_REQUIRE(booted_, "boot() first");
   sm::SweepReport report;
-  sm_.compute_routes();
-  report.path_computation_seconds = sm_.routing_result().compute_seconds;
-  report.distribution = sm_.distribute_lfts();
+  sm_->compute_routes();
+  report.path_computation_seconds = sm_->routing_result().compute_seconds;
+  report.distribution = sm_->distribute_lfts();
   return report;
 }
 

@@ -19,16 +19,21 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/skyline.hpp"
 #include "core/virtualizer.hpp"
+#include "sm/reconfig_journal.hpp"
 #include "sm/subnet_manager.hpp"
 
 namespace ibvs::core {
+
+struct MigrationTxn;  // core/migration_txn.hpp
 
 enum class LidScheme { kPrepopulated, kDynamic };
 
@@ -117,7 +122,10 @@ class VSwitchFabric {
   [[nodiscard]] const std::vector<VirtualHca>& hypervisors() const noexcept {
     return hypervisors_;
   }
-  [[nodiscard]] sm::SubnetManager& subnet_manager() noexcept { return sm_; }
+  [[nodiscard]] sm::SubnetManager& subnet_manager() noexcept { return *sm_; }
+  [[nodiscard]] const sm::SubnetManager& subnet_manager() const noexcept {
+    return *sm_;
+  }
 
   /// Discovery, LID assignment (including all VFs when prepopulated), path
   /// computation and LFT distribution.
@@ -130,8 +138,73 @@ class VSwitchFabric {
   void destroy_vm(VmHandle vm);
 
   /// Algorithm 1: detach, migrate addresses (step a), update LFTs (step b).
+  /// Implemented on top of the transactional phases below (begin, move
+  /// addresses, apply LFTs, commit) with the exact SMP stream of the
+  /// original one-shot path; failures surface as MigrationError.
   MigrationReport migrate_vm(VmHandle vm, std::size_t dst_hypervisor,
                              const MigrationOptions& options = {});
+
+  // --- Transactional migration phases (see core/migration_txn.hpp). ---
+  // The orchestrator (or the chaos harness) drives these individually to
+  // get abort points, typed failures and rollback; migrate_vm() is the
+  // happy-path composition. Every transaction writes ahead to journal().
+
+  /// Validates the request with typed errors (kUnknownVm, kBadDestination,
+  /// kSameHypervisor, kNoFreeVf), reserves the destination VF choice and
+  /// opens the write-ahead journal record. Sends nothing.
+  MigrationTxn begin_migration(VmHandle vm, std::size_t dst_hypervisor,
+                               const MigrationOptions& options = {});
+
+  /// §V-C step (a): moves the VM's LID and vGUID to the destination VF
+  /// (swap for prepopulated). Throws kDestinationDetached — before sending
+  /// anything — when the destination PF lost physical attachment.
+  void txn_move_addresses(MigrationTxn& txn);
+
+  /// Controls for txn_apply_lfts: fault-injection and reachability policy.
+  struct ApplyOptions {
+    /// Simulated master death: throw kInterrupted after this many LFT SMPs
+    /// (drain included), leaving the batch genuinely half-sent — exactly
+    /// what journal recovery must clean up.
+    std::size_t abort_after_smps = std::numeric_limits<std::size_t>::max();
+    /// Throw kSwitchUnreachable when a switch in the update set cannot be
+    /// reached from the SM (the transactional path rolls back; the legacy
+    /// path keeps the old behavior of sending into the void).
+    bool require_reachable = false;
+  };
+
+  /// §V-C step (b): plans the delta set, records it in the journal, then
+  /// updates and pushes per switch. Partial progress is tracked in
+  /// txn.applied so a rollback can restore the exact prior bytes.
+  void txn_apply_lfts(MigrationTxn& txn, const ApplyOptions& apply);
+  void txn_apply_lfts(MigrationTxn& txn) { txn_apply_lfts(txn, ApplyOptions{}); }
+
+  /// Applies the inverse deltas in reverse order (reverse swap for
+  /// prepopulated, restore-entry for dynamic), re-attaches the VF at the
+  /// source, and marks the journal record rolled back.
+  void txn_rollback(MigrationTxn& txn);
+
+  /// Finalizes slot bookkeeping and commits the journal record.
+  void txn_commit(MigrationTxn& txn);
+
+  /// The write-ahead reconfiguration journal backing every migration.
+  [[nodiscard]] sm::ReconfigJournal& journal() noexcept { return journal_; }
+  [[nodiscard]] const sm::ReconfigJournal& journal() const noexcept {
+    return journal_;
+  }
+
+  /// Folds journal outcomes decided *outside* the transaction path — a new
+  /// master's ReconfigJournal::recover() after failover — into the slot/VM
+  /// bookkeeping. Idempotent (records are marked reconciled).
+  struct ReconcileReport {
+    std::size_t committed = 0;
+    std::size_t rolled_back = 0;
+  };
+  ReconcileReport reconcile_with_journal();
+
+  /// Re-points this fabric at a different SubnetManager — the standby
+  /// promoted by SmElection after the previous master died. The new SM must
+  /// have swept the subnet already (has_routing()).
+  void adopt_subnet_manager(sm::SubnetManager& sm);
 
   /// Traditional baseline for comparison: full path recomputation plus
   /// complete LFT redistribution (what a LID move would cost without the
@@ -178,11 +251,9 @@ class VSwitchFabric {
 
   Lid pf_lid(std::size_t hypervisor) const;
   Vm& vm_mutable(VmHandle handle);
-  void apply_entry_updates(const std::vector<Lid>& lids_changed,
-                           const MigrationOptions& options,
-                           ReconfigStats& stats);
 
-  sm::SubnetManager& sm_;
+  sm::SubnetManager* sm_;  ///< reseatable: adopt_subnet_manager on failover
+  Fabric* fabric_;         ///< the subnet itself, stable across SM failovers
   std::vector<VirtualHca> hypervisors_;
   LidScheme scheme_;
   std::vector<std::vector<Slot>> slots_;  ///< [hypervisor][vf]
@@ -190,6 +261,7 @@ class VSwitchFabric {
   std::uint32_t next_vm_id_ = 1;
   bool booted_ = false;
   EntryDelta last_delta_;
+  sm::ReconfigJournal journal_;
 };
 
 }  // namespace ibvs::core

@@ -50,6 +50,18 @@ struct TimingModel {
     for (unsigned i = 0; i < attempt; ++i) timeout *= retry_backoff;
     return timeout;
   }
+
+  /// Worst-case wall-clock budget for one reliable MAD over `hops` hops:
+  /// every attempt but the last times out, the last completes round-trip.
+  /// Step timeouts for migration transactions are derived from this — any
+  /// SMP still unanswered past the budget is genuinely lost, not slow.
+  [[nodiscard]] double mad_budget_us(std::size_t hops) const noexcept {
+    double budget = 0.0;
+    for (unsigned a = 0; a < max_mad_retries; ++a) {
+      budget += retry_timeout_us(a);
+    }
+    return budget + 2.0 * smp_latency_us(hops, true) + sm_issue_gap_us;
+  }
 };
 
 }  // namespace ibvs::fabric

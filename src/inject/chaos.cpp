@@ -109,6 +109,8 @@ enum class EventKind {
   kSwitchKill,
   kSwitchRevive,
   kMigrate,
+  kKillDstMidMigration,
+  kKillMasterMidReconfig,
 };
 
 const char* kind_name(EventKind kind) {
@@ -125,6 +127,10 @@ const char* kind_name(EventKind kind) {
       return "switch_revive";
     case EventKind::kMigrate:
       return "migrate";
+    case EventKind::kKillDstMidMigration:
+      return "kill_dst_mid_migration";
+    case EventKind::kKillMasterMidReconfig:
+      return "kill_master_mid_reconfig";
   }
   return "?";
 }
@@ -173,6 +179,10 @@ std::string to_string(const ChaosReport& report) {
      << " violations=" << report.checker_violations
      << " converged=" << (report.all_converged ? "yes" : "no") << std::hex
      << " digest=0x" << report.digest << std::dec << "\n";
+  if (report.migration_commits + report.migration_rollbacks > 0) {
+    os << "migration txns: committed=" << report.migration_commits
+       << " rolled_back=" << report.migration_rollbacks << "\n";
+  }
   return os.str();
 }
 
@@ -210,12 +220,44 @@ ChaosReport run_chaos(cloud::CloudOrchestrator& cloud,
       {EventKind::kSwitchKill, config.weight_switch_kill},
       {EventKind::kSwitchRevive, config.weight_switch_revive},
       {EventKind::kMigrate, config.weight_migrate},
+      {EventKind::kKillDstMidMigration, config.weight_kill_dst_mid_migration},
+      {EventKind::kKillMasterMidReconfig,
+       config.weight_kill_master_mid_reconfig},
   };
   unsigned total_weight = 0;
   for (const auto& k : kinds) total_weight += k.weight;
   IBVS_REQUIRE(total_weight > 0, "every chaos event weight is zero");
 
   const NodeId sm_node = transport.sm_node();
+
+  // Shared candidate selection for every migration-flavored event: a
+  // uniformly drawn active VM, then a uniformly drawn destination with a
+  // free VF that is physically attached and SM-reachable. Draw order is
+  // part of the determinism contract — exactly one draw for the VM and one
+  // for the destination, skipping (no draws consumed beyond the VM's) when
+  // either candidate set is empty.
+  struct MigrationPick {
+    core::VmHandle vm;
+    std::size_t src = 0;
+    std::size_t dst = 0;
+  };
+  const auto pick_migration = [&]() -> std::optional<MigrationPick> {
+    std::vector<std::uint32_t> vms = vsf.active_vm_ids();
+    std::sort(vms.begin(), vms.end());
+    if (vms.empty()) return std::nullopt;
+    const core::VmHandle vm{vms[rng.below(vms.size())]};
+    const std::size_t src_hyp = vsf.vm(vm).hypervisor;
+    std::vector<std::size_t> dsts;
+    for (std::size_t h = 0; h < vsf.hypervisors().size(); ++h) {
+      if (h == src_hyp || !vsf.free_vf_on(h)) continue;
+      const NodeId pf = vsf.hypervisors()[h].pf;
+      if (!fabric.physical_attachment(pf)) continue;
+      if (!transport.hops_to(pf)) continue;
+      dsts.push_back(h);
+    }
+    if (dsts.empty()) return std::nullopt;
+    return MigrationPick{vm, src_hyp, dsts[rng.below(dsts.size())]};
+  };
 
   for (std::size_t step = 0; step < config.steps; ++step) {
     ++report.steps;
@@ -309,28 +351,98 @@ ChaosReport run_chaos(cloud::CloudOrchestrator& cloud,
         break;
       }
       case EventKind::kMigrate: {
-        std::vector<std::uint32_t> vms = vsf.active_vm_ids();
-        std::sort(vms.begin(), vms.end());
-        if (!vms.empty()) {
-          const core::VmHandle vm{vms[rng.below(vms.size())]};
-          const std::size_t src_hyp = vsf.vm(vm).hypervisor;
-          std::vector<std::size_t> dsts;
-          for (std::size_t h = 0; h < vsf.hypervisors().size(); ++h) {
-            if (h == src_hyp || !vsf.free_vf_on(h)) continue;
-            const NodeId pf = vsf.hypervisors()[h].pf;
-            if (!fabric.physical_attachment(pf)) continue;
-            if (!transport.hops_to(pf)) continue;
-            dsts.push_back(h);
+        if (const auto pick = pick_migration()) {
+          event.detail = "vm" + std::to_string(pick->vm.id) + " hyp" +
+                         std::to_string(pick->src) + "->hyp" +
+                         std::to_string(pick->dst);
+          cloud.migrate(pick->vm, pick->dst);
+          ++report.migrations;
+          applied = true;
+        }
+        break;
+      }
+      case EventKind::kKillDstMidMigration: {
+        // The destination hypervisor dies mid-flight: its vSwitch is
+        // killed either before the addresses move (at kCopied) or after
+        // the LFTs are rewritten (at kAttached). The orchestrator's policy
+        // machinery must re-place the VM on a live host or roll the whole
+        // transaction back — the fabric never stays half-migrated.
+        if (const auto pick = pick_migration()) {
+          const bool kill_late = rng.below(2) == 1;
+          const core::TxnState kill_at = kill_late ? core::TxnState::kAttached
+                                                   : core::TxnState::kCopied;
+          const NodeId dst_vswitch = vsf.hypervisors()[pick->dst].vswitch;
+          bool killed = false;
+          cloud::TxnPolicy policy;
+          policy.backoff_base_s = 0.0;  // simulated clock only
+          policy.on_step = [&](core::TxnState state,
+                               const core::MigrationTxn& txn) {
+            if (!killed && state == kill_at &&
+                txn.dst_hypervisor == pick->dst) {
+              injector.kill_node(dst_vswitch);
+              killed = true;
+            }
+          };
+          const auto flow = cloud.migrate_txn(pick->vm, pick->dst, {}, policy);
+          if (killed) injector.revive_node(dst_vswitch);
+          event.detail = "vm" + std::to_string(pick->vm.id) + " hyp" +
+                         std::to_string(pick->src) + "->hyp" +
+                         std::to_string(pick->dst) + " kill@" +
+                         (kill_late ? "attach" : "copy") + " -> " +
+                         cloud::to_string(flow.outcome) +
+                         (flow.replaced
+                              ? " hyp" + std::to_string(flow.dst_hypervisor)
+                              : "");
+          if (flow.outcome == cloud::TxnOutcome::kCommitted) {
+            ++report.migration_commits;
+          } else {
+            ++report.migration_rollbacks;
           }
-          if (!dsts.empty()) {
-            const std::size_t dst = dsts[rng.below(dsts.size())];
-            event.detail = "vm" + std::to_string(vm.id) + " hyp" +
-                           std::to_string(src_hyp) + "->hyp" +
-                           std::to_string(dst);
-            cloud.migrate(vm, dst);
-            ++report.migrations;
-            applied = true;
+          ++report.migrations;
+          applied = true;
+        }
+        break;
+      }
+      case EventKind::kKillMasterMidReconfig: {
+        // The master SM dies after a random number of LFT SMPs of an
+        // in-flight migration. The write-ahead journal then decides —
+        // exactly as a standby promoted by SmElection would (the election
+        // path itself is exercised in the tests); here the surviving SM
+        // object replays its own journal, which runs the identical code.
+        if (const auto pick = pick_migration()) {
+          auto txn = vsf.begin_migration(pick->vm, pick->dst);
+          vsf.txn_move_addresses(txn);
+          const std::uint64_t abort_after = 1 + rng.below(4);
+          bool interrupted = false;
+          try {
+            vsf.txn_apply_lfts(
+                txn, core::VSwitchFabric::ApplyOptions{
+                         .abort_after_smps =
+                             static_cast<std::size_t>(abort_after)});
+          } catch (const core::MigrationError&) {
+            interrupted = true;
           }
+          event.detail = "vm" + std::to_string(pick->vm.id) + " hyp" +
+                         std::to_string(pick->src) + "->hyp" +
+                         std::to_string(pick->dst);
+          if (!interrupted) {
+            // The batch was smaller than the abort point; no death.
+            vsf.txn_commit(txn);
+            event.detail += " survived";
+            ++report.migration_commits;
+          } else {
+            const auto recovery =
+                vsf.journal().recover(sm, config.max_reconverge_rounds);
+            const auto reconciled = vsf.reconcile_with_journal();
+            report.migration_commits += reconciled.committed;
+            report.migration_rollbacks += reconciled.rolled_back;
+            event.detail +=
+                " died@" + std::to_string(abort_after) + "smp -> " +
+                (recovery.rolled_forward > 0 ? "rolled_forward"
+                                             : "rolled_back");
+          }
+          ++report.migrations;
+          applied = true;
         }
         break;
       }

@@ -42,6 +42,14 @@ struct ChaosConfig {
   unsigned weight_switch_kill = 1;
   unsigned weight_switch_revive = 1;
   unsigned weight_migrate = 4;
+  // Migration-fault events (default 0: enabling them must not perturb the
+  // digests of existing seeds). kill_dst_mid_migration kills the
+  // destination hypervisor's vSwitch at a random transaction state and
+  // lets the orchestrator re-place or roll back; kill_master_mid_reconfig
+  // cuts the LFT batch short after a random number of SMPs and replays the
+  // write-ahead journal, as a freshly elected master would.
+  unsigned weight_kill_dst_mid_migration = 0;
+  unsigned weight_kill_master_mid_reconfig = 0;
 
   /// Probabilistic MAD plane active for the whole run (drops force the
   /// transport's retry/backoff machinery; jitter perturbs latencies).
@@ -71,6 +79,10 @@ struct ChaosReport {
   std::size_t steps = 0;
   std::size_t structural_events = 0;
   std::size_t migrations = 0;
+  /// Transactional outcomes from the migration-fault events: every such
+  /// migration must end committed or rolled back, never in between.
+  std::size_t migration_commits = 0;
+  std::size_t migration_rollbacks = 0;
   std::size_t skipped = 0;  ///< steps whose picked kind had no candidate
   std::size_t reconverge_rounds = 0;
   std::uint64_t reconverge_smps = 0;

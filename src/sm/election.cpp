@@ -134,7 +134,16 @@ ElectionReport SmElection::poll() {
   // Failover: re-elect and let the winner take the subnet over.
   auto elected = elect();
   elected.sminfo_smps += report.sminfo_smps;
-  if (master_) master_sweep();
+  if (master_) {
+    master_sweep();
+    // Crash consistency: whatever migration the dead master had in flight
+    // is replayed to completion or rolled back from the write-ahead
+    // journal, then the diffs are redistributed — the fabric must never
+    // stay half-reconfigured across a failover.
+    if (journal_ != nullptr && journal_->in_flight() > 0) {
+      elected.journal_recovery = journal_->recover(*sm_);
+    }
+  }
   return elected;
 }
 

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "sm/reconfig_journal.hpp"
 #include "sm/subnet_manager.hpp"
 
 namespace ibvs::sm {
@@ -42,6 +43,9 @@ struct ElectionReport {
   std::size_t standbys = 0;
   std::size_t disqualified = 0;
   std::uint64_t sminfo_smps = 0;  ///< SMInfo exchanges this round
+  /// Journal recovery run by a takeover (zero-valued unless a journal is
+  /// attached and the new master found in-flight migration records).
+  RecoveryReport journal_recovery;
 };
 
 /// Coordinates the candidates of one subnet. The master candidate drives a
@@ -82,6 +86,15 @@ class SmElection {
   /// Full sweep by the current master (discovery, LIDs, routes, LFTs).
   SweepReport master_sweep();
 
+  /// Attaches the subnet's reconfiguration journal (shared, durable state —
+  /// outlives any one SubnetManager instance). A takeover in poll() then
+  /// replays in-flight migration records right after its sweep, so a master
+  /// death mid-reconfiguration can never leave the fabric mixed. nullptr
+  /// detaches.
+  void attach_journal(ReconfigJournal* journal) noexcept {
+    journal_ = journal;
+  }
+
  private:
   [[nodiscard]] std::optional<std::size_t> pick_winner() const;
   void promote(std::size_t index);
@@ -92,6 +105,7 @@ class SmElection {
   std::vector<bool> alive_;
   std::optional<std::size_t> master_;
   std::unique_ptr<SubnetManager> sm_;
+  ReconfigJournal* journal_ = nullptr;
   std::uint64_t sminfo_smps_ = 0;
 };
 

@@ -1,0 +1,214 @@
+#include "sm/reconfig_journal.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/expect.hpp"
+#include "util/log.hpp"
+
+namespace ibvs::sm {
+
+namespace {
+
+struct JournalMetrics {
+  telemetry::Counter& begun;
+  telemetry::Counter& replays_forward;
+  telemetry::Counter& replays_back;
+
+  static JournalMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static JournalMetrics m{
+        reg.counter("ibvs_journal_records_total", {},
+                    "Migration records opened in the reconfiguration journal"),
+        reg.counter("ibvs_journal_replays_total", {{"action", "roll_forward"}},
+                    "In-flight journal records resolved during recovery"),
+        reg.counter("ibvs_journal_replays_total", {{"action", "roll_back"}}),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* to_string(RecordState state) {
+  switch (state) {
+    case RecordState::kInFlight:
+      return "in-flight";
+    case RecordState::kCommitted:
+      return "committed";
+    case RecordState::kRolledBack:
+      return "rolled-back";
+  }
+  return "?";
+}
+
+std::uint64_t ReconfigJournal::begin(MigrationRecord record) {
+  IBVS_REQUIRE(record.vm_lid.valid(), "journal record needs the VM LID");
+  IBVS_REQUIRE(record.src_vf != kInvalidNode && record.dst_vf != kInvalidNode,
+               "journal record needs both VF nodes");
+  record.id = next_id_++;
+  record.state = RecordState::kInFlight;
+  record.reconciled = false;
+  JournalMetrics::get().begun.inc();
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+MigrationRecord* ReconfigJournal::find(std::uint64_t id) {
+  for (MigrationRecord& r : records_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const MigrationRecord* ReconfigJournal::find(std::uint64_t id) const {
+  for (const MigrationRecord& r : records_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+void ReconfigJournal::record_addresses_moved(std::uint64_t id) {
+  MigrationRecord* r = find(id);
+  IBVS_REQUIRE(r != nullptr, "unknown journal record");
+  IBVS_REQUIRE(r->state == RecordState::kInFlight,
+               "record is no longer in flight");
+  r->addresses_moved = true;
+}
+
+void ReconfigJournal::record_deltas(std::uint64_t id,
+                                    std::vector<LftDelta> deltas) {
+  MigrationRecord* r = find(id);
+  IBVS_REQUIRE(r != nullptr, "unknown journal record");
+  IBVS_REQUIRE(r->state == RecordState::kInFlight,
+               "record is no longer in flight");
+  r->deltas = std::move(deltas);
+}
+
+void ReconfigJournal::commit(std::uint64_t id) {
+  MigrationRecord* r = find(id);
+  IBVS_REQUIRE(r != nullptr, "unknown journal record");
+  IBVS_REQUIRE(r->state == RecordState::kInFlight,
+               "record is no longer in flight");
+  r->state = RecordState::kCommitted;
+}
+
+void ReconfigJournal::roll_back(std::uint64_t id) {
+  MigrationRecord* r = find(id);
+  IBVS_REQUIRE(r != nullptr, "unknown journal record");
+  IBVS_REQUIRE(r->state == RecordState::kInFlight,
+               "record is no longer in flight");
+  r->state = RecordState::kRolledBack;
+}
+
+std::size_t ReconfigJournal::in_flight() const {
+  std::size_t n = 0;
+  for (const MigrationRecord& r : records_) {
+    if (r.state == RecordState::kInFlight) ++n;
+  }
+  return n;
+}
+
+std::size_t ReconfigJournal::truncate_reconciled() {
+  const std::size_t before = records_.size();
+  std::erase_if(records_, [](const MigrationRecord& r) {
+    return r.state != RecordState::kInFlight && r.reconciled;
+  });
+  return before - records_.size();
+}
+
+RecoveryReport ReconfigJournal::recover(SubnetManager& sm,
+                                        std::size_t max_rounds,
+                                        SmpRouting routing) {
+  RecoveryReport report;
+  report.in_flight = in_flight();
+  if (report.in_flight == 0) return report;
+  IBVS_REQUIRE(sm.has_routing(),
+               "recovery needs master tables (sweep the subnet first)");
+
+  auto span = telemetry::Tracer::global().span(
+      "journal.recover",
+      {{"in_flight", std::to_string(report.in_flight)}});
+  Fabric& fabric = sm.fabric();
+  auto& transport = sm.transport();
+  const auto& graph = sm.routing_result().graph;
+
+  for (MigrationRecord& r : records_) {
+    if (r.state != RecordState::kInFlight) continue;
+    // Roll forward only when the write-ahead marks prove the migration got
+    // past the address move AND the destination can still be programmed;
+    // everything else is undone. Both branches are pure master-table and
+    // LidMap fixups — redistribution below turns them into SMPs.
+    const bool dst_reachable = transport.hops_to(r.dst_pf).has_value();
+    const bool forward =
+        r.addresses_moved && !r.deltas.empty() && dst_reachable;
+    if (forward) {
+      if (sm.lids().owner(r.vm_lid).node != r.dst_vf) {
+        sm.lids().move(fabric, r.vm_lid, r.dst_vf, 1);
+      }
+      if (r.swapped_lid.valid() &&
+          sm.lids().owner(r.swapped_lid).node != r.src_vf) {
+        sm.lids().move(fabric, r.swapped_lid, r.src_vf, 1);
+      }
+      fabric.node(r.dst_vf).alias_guid = r.vguid;
+      fabric.node(r.src_vf).alias_guid = kInvalidGuid;
+      for (const LftDelta& d : r.deltas) {
+        const routing::SwitchIdx s = graph.dense(d.switch_node);
+        if (s == routing::kNoSwitch) continue;
+        sm.update_master_entry(s, d.lid, d.new_port);
+      }
+      r.state = RecordState::kCommitted;
+      ++report.rolled_forward;
+      JournalMetrics::get().replays_forward.inc();
+      IBVS_INFO("journal") << "record " << r.id << " (vm " << r.vm_id
+                           << ") rolled forward: " << r.deltas.size()
+                           << " deltas replayed";
+    } else {
+      for (auto it = r.deltas.rbegin(); it != r.deltas.rend(); ++it) {
+        const routing::SwitchIdx s = graph.dense(it->switch_node);
+        if (s == routing::kNoSwitch) continue;
+        sm.update_master_entry(s, it->lid, it->old_port);
+      }
+      if (r.addresses_moved) {
+        if (sm.lids().owner(r.vm_lid).node != r.src_vf) {
+          sm.lids().move(fabric, r.vm_lid, r.src_vf, 1);
+        }
+        if (r.swapped_lid.valid() &&
+            sm.lids().owner(r.swapped_lid).node != r.dst_vf) {
+          sm.lids().move(fabric, r.swapped_lid, r.dst_vf, 1);
+        }
+        fabric.node(r.src_vf).alias_guid = r.vguid;
+        fabric.node(r.dst_vf).alias_guid = kInvalidGuid;
+        // Re-attach the VF addresses at the source: the reverse of §V-C
+        // step (a), priced on the batch clock like the forward path.
+        transport.begin_batch();
+        transport.send_vf_lid_assign(r.src_pf, r.src_vf_slot, r.vm_lid,
+                                     routing);
+        transport.send_vf_lid_assign(
+            r.dst_pf, r.dst_vf_slot,
+            r.swapped_lid.valid() ? r.swapped_lid : kInvalidLid, routing);
+        transport.send_guid_info(r.src_pf, r.src_vf_slot, r.vguid, routing);
+        report.address_smps += 3;
+        report.address_time_us += transport.end_batch();
+      }
+      r.state = RecordState::kRolledBack;
+      ++report.rolled_back;
+      JournalMetrics::get().replays_back.inc();
+      IBVS_INFO("journal") << "record " << r.id << " (vm " << r.vm_id
+                           << ") rolled back: " << r.deltas.size()
+                           << " inverse deltas applied";
+    }
+  }
+
+  // The master tables now describe exactly one consistent outcome per
+  // record; push the diffs until the installed fabric agrees. No route
+  // recomputation — recovery stays PCt-free.
+  sm.refresh_targets();
+  sm.bump_generation();
+  report.redistribution = sm.redistribute(max_rounds, routing);
+  span.set_attr("rolled_forward", std::to_string(report.rolled_forward));
+  span.set_attr("rolled_back", std::to_string(report.rolled_back));
+  span.set_attr("smps", std::to_string(report.redistribution.smps));
+  return report;
+}
+
+}  // namespace ibvs::sm

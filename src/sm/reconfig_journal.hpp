@@ -1,0 +1,136 @@
+// Write-ahead reconfiguration journal for live migrations.
+//
+// The paper's migration (§V-C, Algorithm 1) rewrites LFT entries on up to n
+// switches; a master-SM death mid-batch leaves the fabric half-reconfigured
+// with no record of what was in flight. OpenSM solves the analogous problem
+// for LID assignments with guid2lid cache files; this journal does the same
+// for reconfiguration deltas: before the vSwitch layer moves any address or
+// sends any swap/copy SMP it records the full per-switch delta set
+// (switch, lid, old_port, new_port), so a recovering SM — the same instance
+// after an aborted batch, or a *new* master elected via SmElection — can
+// deterministically replay the in-flight record to completion or roll it
+// back, then redistribute diffs until the fabric is provably un-mixed.
+//
+// Records are keyed by durable identities only (NodeId, Lid, PortNum — never
+// SwitchIdx, which is an artifact of one routing run), and replay is
+// idempotent: applying a delta that is already in place marks nothing dirty
+// and sends nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sm/subnet_manager.hpp"
+
+namespace ibvs::sm {
+
+/// One LFT entry rewrite, recorded before it is sent. `switch_node` is the
+/// fabric NodeId of the physical switch (durable across SM failovers).
+struct LftDelta {
+  NodeId switch_node = kInvalidNode;
+  Lid lid;
+  PortNum old_port = 0;
+  PortNum new_port = 0;
+
+  [[nodiscard]] LftDelta inverse() const noexcept {
+    return {switch_node, lid, new_port, old_port};
+  }
+};
+
+enum class RecordState : std::uint8_t {
+  kInFlight,    ///< begun, neither committed nor rolled back
+  kCommitted,   ///< reconfiguration completed (possibly by replay)
+  kRolledBack,  ///< inverse deltas applied, addresses restored
+};
+
+[[nodiscard]] const char* to_string(RecordState state);
+
+/// Everything a recovering SM needs to finish or undo one migration. The
+/// hypervisor/VF indices are opaque orchestrator-side tags: the SM never
+/// interprets them, but carrying them lets the vSwitch layer reconcile its
+/// slot bookkeeping with whatever outcome recovery chose.
+struct MigrationRecord {
+  std::uint64_t id = 0;
+  std::uint32_t vm_id = 0;
+  Lid vm_lid;
+  Lid swapped_lid;  ///< prepopulated only: the destination VF's swapped LID
+  Guid vguid;
+  NodeId src_vf = kInvalidNode;
+  NodeId dst_vf = kInvalidNode;
+  NodeId src_pf = kInvalidNode;
+  NodeId dst_pf = kInvalidNode;
+  PortNum src_vf_slot = 0;  ///< VF slot number on the source PF (SMP target)
+  PortNum dst_vf_slot = 0;
+  std::size_t src_hypervisor = 0;  ///< orchestrator tag
+  std::size_t dst_hypervisor = 0;  ///< orchestrator tag
+  std::size_t src_vf_index = 0;    ///< orchestrator tag
+  std::size_t dst_vf_index = 0;    ///< orchestrator tag
+  /// Write-ahead flags: set *before* the corresponding SMPs go out.
+  bool addresses_moved = false;
+  std::vector<LftDelta> deltas;  ///< the full planned LFT delta set
+  RecordState state = RecordState::kInFlight;
+  /// Set once the vSwitch layer has folded this record's outcome into its
+  /// slot bookkeeping (reconcile_with_journal), or when the record was
+  /// committed / rolled back through the normal transaction path.
+  bool reconciled = false;
+};
+
+/// What ReconfigJournal::recover() did to the in-flight records.
+struct RecoveryReport {
+  std::size_t in_flight = 0;       ///< records that needed a decision
+  std::size_t rolled_forward = 0;  ///< replayed to completion
+  std::size_t rolled_back = 0;     ///< undone via inverse deltas
+  std::uint64_t address_smps = 0;  ///< VF LID/GUID SMPs sent restoring
+  double address_time_us = 0.0;    ///< batch makespan of those restores
+  SubnetManager::ReconvergeReport redistribution;
+};
+
+class ReconfigJournal {
+ public:
+  /// Opens a record; assigns and returns its id. State starts kInFlight.
+  std::uint64_t begin(MigrationRecord record);
+
+  /// Write-ahead mark: the address-migration SMPs (§V-C step a) are about
+  /// to be sent for record `id`.
+  void record_addresses_moved(std::uint64_t id);
+
+  /// Write-ahead mark: the LFT delta set for record `id`, recorded before
+  /// any swap/copy SMP goes out.
+  void record_deltas(std::uint64_t id, std::vector<LftDelta> deltas);
+
+  void commit(std::uint64_t id);
+  void roll_back(std::uint64_t id);
+
+  [[nodiscard]] MigrationRecord* find(std::uint64_t id);
+  [[nodiscard]] const MigrationRecord* find(std::uint64_t id) const;
+  [[nodiscard]] const std::vector<MigrationRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t in_flight() const;
+
+  /// Drops terminal records the vSwitch layer has already reconciled,
+  /// bounding journal growth. Returns how many were dropped.
+  std::size_t truncate_reconciled();
+
+  /// Crash-consistent replay, run by whichever SM owns the subnet now (a
+  /// standby promoted by SmElection after the master died mid-batch, or the
+  /// surviving instance after an aborted transaction). For every in-flight
+  /// record, deterministically either
+  ///   * rolls forward — addresses already moved, deltas recorded, and the
+  ///     destination PF reachable: re-apply every delta to the master
+  ///     tables and fix the LidMap/alias-GUID state, or
+  ///   * rolls back — apply the inverse deltas and restore the addresses to
+  ///     the source VF (reverse swap for prepopulated, restore-entry for
+  ///     dynamic), pricing the VF LID/GUID SMPs on the batch clock,
+  /// then redistributes master/installed diffs until convergence. No route
+  /// recomputation happens: recovery keeps the PCt-free property (§VI).
+  /// Idempotent — a second call finds nothing in flight and sends nothing.
+  RecoveryReport recover(SubnetManager& sm, std::size_t max_rounds = 64,
+                         SmpRouting routing = SmpRouting::kLidRouted);
+
+ private:
+  std::vector<MigrationRecord> records_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ibvs::sm

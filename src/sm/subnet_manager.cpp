@@ -259,10 +259,9 @@ DistributionReport SubnetManager::distribute_lfts(SmpRouting routing) {
   return report;
 }
 
-SubnetManager::ReconvergeReport SubnetManager::reconverge(
+SubnetManager::ReconvergeReport SubnetManager::redistribute(
     std::size_t max_rounds, SmpRouting routing) {
-  auto span = telemetry::Tracer::global().span("sm.reconverge");
-  compute_routes();
+  IBVS_REQUIRE(routing_ready_, "compute_routes() must run first");
   ReconvergeReport report;
   std::vector<std::uint8_t> reachable;
   std::vector<std::vector<std::uint32_t>> to_send;
@@ -289,6 +288,14 @@ SubnetManager::ReconvergeReport SubnetManager::reconverge(
     }
   }
   SweepMetrics::get().blocks_sent.inc(report.smps);
+  return report;
+}
+
+SubnetManager::ReconvergeReport SubnetManager::reconverge(
+    std::size_t max_rounds, SmpRouting routing) {
+  auto span = telemetry::Tracer::global().span("sm.reconverge");
+  compute_routes();
+  const ReconvergeReport report = redistribute(max_rounds, routing);
   span.set_attr("rounds", std::to_string(report.rounds));
   span.set_attr("smps", std::to_string(report.smps));
   span.set_attr("converged", report.converged ? "true" : "false");

@@ -125,6 +125,15 @@ class SubnetManager {
   ReconvergeReport reconverge(std::size_t max_rounds = 64,
                               SmpRouting routing = SmpRouting::kDirected);
 
+  /// The distribution half of reconverge(): repeated diff-rounds against the
+  /// *current* master tables, without recomputing routes. This is the
+  /// PCt-free recovery primitive the reconfiguration journal replays
+  /// through — master entries patched by hand (update_master_entry, journal
+  /// replay) must not be overwritten by a routing run before they reach the
+  /// hardware.
+  ReconvergeReport redistribute(std::size_t max_rounds = 64,
+                                SmpRouting routing = SmpRouting::kDirected);
+
   /// Master tables of the last compute_routes() (empty before the first).
   [[nodiscard]] const routing::RoutingResult& routing_result() const {
     return routing_;
