@@ -1,0 +1,299 @@
+// In-band telemetry (INT) overhead vs congestion-map fidelity.
+//
+// INT metadata is not free: every stacked hop record costs dwords on every
+// subsequent link, and those dwords land in the same PMA data counters as
+// tenant traffic. This bench sweeps the sampling rate on an incast-heavy
+// workload and reports, per topology:
+//   * the telemetry overhead as a fraction of all transmitted dwords, and
+//   * how well the sampled congestion map agrees with (a) the full-rate
+//     map and (b) the PMA ground truth — the top-k ports by xmit-wait +
+//     congestion-mark delta on the same run.
+// The full-rate congestion map of the last topology is dumped via --int-out.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fabric/credit_sim.hpp"
+#include "perf/int_collector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ibvs;
+
+struct IntSetup {
+  Fabric fabric;
+  std::vector<NodeId> hosts;
+  std::unique_ptr<sm::SubnetManager> sm;
+  std::string name;
+
+  static IntSetup make_small() {
+    IntSetup s;
+    s.name = "two-level-16";
+    const auto built = topology::build_two_level_fat_tree(
+        s.fabric, topology::TwoLevelParams{.num_leaves = 4,
+                                           .num_spines = 2,
+                                           .hosts_per_leaf = 4,
+                                           .radix = 12});
+    s.hosts = topology::attach_hosts(s.fabric, built.host_slots);
+    s.boot();
+    return s;
+  }
+
+  static IntSetup make_paper(topology::PaperFatTree which) {
+    IntSetup s;
+    s.name = topology::to_string(which);
+    const auto built = topology::build_paper_fat_tree(s.fabric, which);
+    s.hosts = topology::attach_hosts(s.fabric, built.host_slots);
+    s.boot();
+    return s;
+  }
+
+  void boot() {
+    sm = std::make_unique<sm::SubnetManager>(
+        fabric, hosts[0],
+        routing::make_engine(routing::EngineKind::kFatTree));
+    sm->full_sweep();
+  }
+};
+
+/// Incast workload: `groups` victim destinations, each hammered by
+/// `srcs_per_group` distinct sources (one tenant per group). Incast is the
+/// worst case the paper's tenant-isolation story cares about: the hot link
+/// is the last hop, and PMA counters alone cannot say whose traffic queued.
+std::vector<fabric::FlowSpec> incast_flows(const IntSetup& s,
+                                           SplitMix64& rng,
+                                           std::size_t groups,
+                                           std::size_t srcs_per_group,
+                                           std::size_t packets) {
+  std::vector<fabric::FlowSpec> flows;
+  std::vector<NodeId> victims;
+  for (std::size_t g = 0; g < groups && victims.size() < s.hosts.size();
+       ++g) {
+    NodeId victim = kInvalidNode;
+    do {
+      victim = s.hosts[rng.below(s.hosts.size())];
+    } while (std::find(victims.begin(), victims.end(), victim) !=
+             victims.end());
+    victims.push_back(victim);
+    const Lid dst = s.fabric.node(victim).lid();
+    for (std::size_t i = 0; i < srcs_per_group; ++i) {
+      NodeId src = kInvalidNode;
+      do {
+        src = s.hosts[rng.below(s.hosts.size())];
+      } while (src == victim);
+      flows.push_back(fabric::FlowSpec{.src = src,
+                                       .dst = dst,
+                                       .packets = packets,
+                                       .vl = 0,
+                                       .packet_dwords = 64,
+                                       .tenant = static_cast<std::uint32_t>(g)});
+    }
+  }
+  return flows;
+}
+
+struct PortSnapshot {
+  std::uint32_t xmit_wait = 0;
+  std::uint16_t congestion_marks = 0;
+  std::uint64_t ext_xmit_data = 0;
+};
+
+using Snapshot = std::map<perf::LinkKey, PortSnapshot>;
+
+Snapshot snapshot_ports(const Fabric& fabric) {
+  Snapshot snap;
+  for (std::size_t n = 0; n < fabric.size(); ++n) {
+    const auto& node = fabric.node(static_cast<NodeId>(n));
+    for (std::size_t p = 1; p < node.ports.size(); ++p) {
+      const auto& c = node.ports[p].counters;
+      snap[perf::LinkKey{static_cast<NodeId>(n),
+                         static_cast<PortNum>(p)}] =
+          PortSnapshot{c.xmit_wait, c.congestion_marks, c.ext_xmit_data};
+    }
+  }
+  return snap;
+}
+
+struct RunResult {
+  fabric::CreditSimReport report;
+  perf::CongestionMap map;
+  std::uint64_t xmit_dwords = 0;  ///< total transmitted this run (ext delta)
+  /// Ground truth: ports ranked by PMA xmit-wait + congestion-mark delta.
+  std::vector<perf::LinkKey> pma_hot;
+};
+
+RunResult run_once(IntSetup& s, const std::vector<fabric::FlowSpec>& flows,
+                   double rate, std::uint64_t seed, std::size_t top_k) {
+  const Snapshot before = snapshot_ports(s.fabric);
+  perf::IntCollector collector;
+  fabric::CreditSimConfig config;
+  config.credits_per_channel = 1;
+  config.int_mode.enabled = rate > 0.0;
+  config.int_mode.sample_rate = rate;
+  config.int_mode.seed = seed;
+  config.int_mode.sink = &collector;
+  RunResult r;
+  r.report = fabric::simulate_flows(s.fabric, flows, config);
+  r.map = collector.build_map(top_k);
+
+  struct Scored {
+    perf::LinkKey link;
+    std::uint64_t score = 0;
+  };
+  std::vector<Scored> scored;
+  for (const auto& [key, after] : snapshot_ports(s.fabric)) {
+    const auto it = before.find(key);
+    const PortSnapshot base = it == before.end() ? PortSnapshot{} : it->second;
+    r.xmit_dwords += after.ext_xmit_data - base.ext_xmit_data;
+    const std::uint64_t wait = after.xmit_wait - base.xmit_wait;
+    const std::uint64_t marks =
+        static_cast<std::uint64_t>(after.congestion_marks) -
+        base.congestion_marks;
+    if (wait + marks > 0) scored.push_back(Scored{key, wait + marks});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a,
+                                             const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.link < b.link;
+  });
+  if (scored.size() > top_k) scored.resize(top_k);
+  for (const auto& e : scored) r.pma_hot.push_back(e.link);
+  return r;
+}
+
+std::size_t hot_overlap(const std::vector<perf::HotLink>& hot,
+                        const std::vector<perf::LinkKey>& truth) {
+  std::size_t n = 0;
+  for (const auto& h : hot) {
+    if (std::find(truth.begin(), truth.end(), h.link) != truth.end()) ++n;
+  }
+  return n;
+}
+
+constexpr double kRates[] = {0.0, 0.05, 0.25, 1.0};
+constexpr std::size_t kTopK = 8;
+
+std::string sweep_topology(IntSetup& s, std::uint64_t seed,
+                           std::string* map_json) {
+  SplitMix64 rng(seed);
+  const std::size_t groups = std::min<std::size_t>(4, s.hosts.size() / 4);
+  const auto flows = incast_flows(s, rng, groups, /*srcs_per_group=*/6,
+                                  /*packets=*/24);
+
+  // Reference pass at full sampling: the fidelity yardstick.
+  RunResult full = run_once(s, flows, 1.0, seed, kTopK);
+  std::vector<perf::LinkKey> full_hot;
+  for (const auto& h : full.map.hot_links) full_hot.push_back(h.link);
+  if (map_json != nullptr) *map_json = full.map.to_json();
+
+  std::printf("\n%s: %zu incast flows (%zu groups)\n", s.name.c_str(),
+              flows.size(), groups);
+  std::printf("%-8s %9s %9s %11s %9s %11s %11s\n", "rate", "sampled",
+              "stacks", "ovh dwords", "ovh %", "vs PMA", "vs full");
+  bench::rule(74);
+  std::ostringstream rows;
+  for (const double rate : kRates) {
+    const RunResult r = run_once(s, flows, rate, seed, kTopK);
+    const double pct =
+        r.xmit_dwords == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.report.int_overhead_dwords) /
+                  static_cast<double>(r.xmit_dwords);
+    const std::size_t vs_pma = hot_overlap(r.map.hot_links, r.pma_hot);
+    const std::size_t vs_full = hot_overlap(r.map.hot_links, full_hot);
+    std::printf("%-8.2f %9zu %9zu %11llu %8.2f%% %7zu/%-3zu %7zu/%-3zu\n",
+                rate, r.report.int_sampled, r.report.int_stacks_delivered,
+                static_cast<unsigned long long>(r.report.int_overhead_dwords),
+                pct, vs_pma, r.pma_hot.size(), vs_full, full_hot.size());
+    if (rows.tellp() > 0) rows << ",";
+    rows << "{\"sample_rate\":" << rate
+         << ",\"sampled\":" << r.report.int_sampled
+         << ",\"stacks_delivered\":" << r.report.int_stacks_delivered
+         << ",\"stacks_truncated\":" << r.report.int_stacks_truncated
+         << ",\"overhead_dwords\":" << r.report.int_overhead_dwords
+         << ",\"xmit_dwords\":" << r.xmit_dwords
+         << ",\"hot_links\":" << r.map.hot_links.size()
+         << ",\"pma_topk_overlap\":" << vs_pma
+         << ",\"pma_topk\":" << r.pma_hot.size()
+         << ",\"fullrate_topk_overlap\":" << vs_full << "}";
+  }
+  bench::rule(74);
+  return rows.str();
+}
+
+void BM_CreditSimIntOff(benchmark::State& state) {
+  auto s = IntSetup::make_small();
+  SplitMix64 rng(42);
+  const auto flows = incast_flows(s, rng, 2, 6, 24);
+  fabric::CreditSimConfig config;
+  config.credits_per_channel = 1;
+  for (auto _ : state) {
+    const auto report = fabric::simulate_flows(s.fabric, flows, config);
+    benchmark::DoNotOptimize(report.delivered);
+  }
+}
+BENCHMARK(BM_CreditSimIntOff)->Unit(benchmark::kMicrosecond);
+
+void BM_CreditSimIntFull(benchmark::State& state) {
+  auto s = IntSetup::make_small();
+  SplitMix64 rng(42);
+  const auto flows = incast_flows(s, rng, 2, 6, 24);
+  perf::IntCollector collector;
+  fabric::CreditSimConfig config;
+  config.credits_per_channel = 1;
+  config.int_mode.enabled = true;
+  config.int_mode.sink = &collector;
+  for (auto _ : state) {
+    const auto report = fabric::simulate_flows(s.fabric, flows, config);
+    benchmark::DoNotOptimize(report.int_stacks_delivered);
+  }
+}
+BENCHMARK(BM_CreditSimIntFull)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto metrics_out = ibvs::bench::consume_metrics_out(argc, argv);
+  const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
+  const auto int_out = ibvs::bench::consume_int_out(argc, argv);
+  const std::uint64_t seed = ibvs::bench::consume_seed(argc, argv, 42);
+  ibvs::bench::consume_threads(argc, argv);
+
+  std::ostringstream doc;
+  doc << "{\"bench\":\"int_overhead\",\"schema_version\":1,\"seed\":" << seed
+      << ",\"topologies\":[";
+  std::string map_json;
+  bool first = true;
+  {
+    auto small = IntSetup::make_small();
+    const std::string rows = sweep_topology(small, seed, &map_json);
+    doc << "{\"topology\":\"" << small.name << "\",\"rows\":[" << rows
+        << "],\"map\":" << map_json << "}";
+    first = false;
+  }
+  for (const auto which : ibvs::bench::selected_paper_trees()) {
+    auto s = IntSetup::make_paper(which);
+    const std::string rows = sweep_topology(s, seed, &map_json);
+    if (!first) doc << ",";
+    first = false;
+    doc << "{\"topology\":\"" << s.name << "\",\"rows\":[" << rows
+        << "],\"map\":" << map_json << "}";
+  }
+  doc << "]}\n";
+  std::printf(
+      "\"vs PMA\" = top-%zu INT hot links also in the top-%zu ports by PMA "
+      "xmit-wait+marks delta on the same run.\n",
+      kTopK, kTopK);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ibvs::bench::dump_json(int_out, doc.str(), "INT congestion map");
+  ibvs::bench::dump_metrics(metrics_out);
+  ibvs::bench::dump_trace(trace_out);
+  return 0;
+}

@@ -68,6 +68,35 @@ inline std::optional<std::string> consume_trace_out(int& argc, char** argv) {
   return consume_flag_value(argc, argv, "--trace-out");
 }
 
+/// `--int-out <file>`: where benches with an INT phase dump the congestion
+/// map / overhead report as JSON.
+inline std::optional<std::string> consume_int_out(int& argc, char** argv) {
+  return consume_flag_value(argc, argv, "--int-out");
+}
+
+/// Dumps a prebuilt JSON document to `path` ("-" for stdout); used by the
+/// --int-out flag. No-op when the flag was absent.
+inline void dump_json(const std::optional<std::string>& path,
+                      const std::string& json, const char* what) {
+  if (!path) return;
+  if (path->empty()) {
+    std::fprintf(stderr, "error: %s requires a non-empty path\n", what);
+    return;
+  }
+  if (*path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(path->c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path->c_str());
+    return;
+  }
+  std::fputs(json.c_str(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "# %s written to %s\n", what, path->c_str());
+}
+
 /// `--seed <n>`: overrides a bench's default RNG seed so randomized
 /// workloads (migration pairs, chaos event streams) can be varied — and
 /// replayed — from the command line. Returns `fallback` when absent.

@@ -104,8 +104,54 @@ std::optional<std::size_t> CloudOrchestrator::pick_hypervisor() {
       }
       return best;
     }
+    case Placement::kCongestionAware: {
+      // Least-blocked uplink wins; without a map every score is 0 and this
+      // degrades to first-fit order.
+      std::optional<std::size_t> best;
+      std::uint64_t best_score = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t h = 0; h < hyps.size(); ++h) {
+        if (!fabric_.free_vf_on(h) || !hypervisor_attached(h)) continue;
+        const std::uint64_t score = uplink_congestion(h);
+        if (score < best_score) {
+          best_score = score;
+          best = h;
+        }
+      }
+      return best;
+    }
   }
   return std::nullopt;
+}
+
+std::uint64_t CloudOrchestrator::uplink_congestion(std::size_t h) const {
+  if (congestion_ == nullptr) return 0;
+  const auto& hyp = fabric_.hypervisors()[h];
+  // Down direction: the leaf's egress toward the hypervisor. Up direction:
+  // the vSwitch's uplink egress (all VFs share it — the property the paper
+  // exploits — so queueing there hits every VM on the host).
+  std::uint64_t score = congestion_->blocked_on(hyp.leaf, hyp.leaf_port);
+  const auto& fabric = fabric_.subnet_manager().fabric();
+  if (const auto uplink = fabric.vswitch_uplink(hyp.vswitch)) {
+    score += congestion_->blocked_on(hyp.vswitch, *uplink);
+  }
+  return score;
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>>
+CloudOrchestrator::rank_destinations(core::VmHandle vm) const {
+  const std::size_t src = fabric_.vm(vm).hypervisor;
+  std::vector<std::pair<std::size_t, std::uint64_t>> ranked;
+  const auto& hyps = fabric_.hypervisors();
+  for (std::size_t h = 0; h < hyps.size(); ++h) {
+    if (h == src) continue;
+    if (!fabric_.free_vf_on(h) || !hypervisor_attached(h)) continue;
+    ranked.emplace_back(h, uplink_congestion(h));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second < b.second;
+                   });
+  return ranked;
 }
 
 std::vector<core::VmHandle> CloudOrchestrator::launch_vms(std::size_t count) {
@@ -269,6 +315,16 @@ CloudOrchestrator::PlanExecution CloudOrchestrator::execute(
 
 std::optional<std::size_t> CloudOrchestrator::pick_fallback(
     core::VmHandle vm, const std::vector<std::size_t>& exclude) const {
+  // With a congestion map attached, re-placement also avoids hot uplinks:
+  // rank_destinations order instead of first-fit.
+  if (congestion_ != nullptr) {
+    for (const auto& [h, score] : rank_destinations(vm)) {
+      if (std::find(exclude.begin(), exclude.end(), h) == exclude.end()) {
+        return h;
+      }
+    }
+    return std::nullopt;
+  }
   const std::size_t src = fabric_.vm(vm).hypervisor;
   const auto& hyps = fabric_.hypervisors();
   for (std::size_t h = 0; h < hyps.size(); ++h) {
@@ -404,6 +460,87 @@ MigrationTxnReport CloudOrchestrator::migrate_txn(
   span.set_attr("outcome", to_string(report.outcome));
   span.set_attr("attempts", std::to_string(report.attempts));
   return report;
+}
+
+CloudOrchestrator::MigrationImpactProbe
+CloudOrchestrator::probe_migration_impact(
+    core::VmHandle vm, std::size_t dst_hypervisor,
+    const std::vector<fabric::FlowSpec>& victim_flows,
+    const ProbeOptions& options) {
+  auto span = telemetry::Tracer::global().span("cloud.probe_migration");
+  const auto& fabric = fabric_.subnet_manager().fabric();
+
+  // The switches this migration will touch, resolved to NodeIds before
+  // anything moves — the "shared links" are their egresses.
+  const auto update_set =
+      predict_update_set(vm, dst_hypervisor, options.migration.mode);
+  const auto& graph = fabric_.subnet_manager().routing_result().graph;
+  std::vector<NodeId> updated_nodes;
+  updated_nodes.reserve(update_set.size());
+  for (const auto s : update_set) updated_nodes.push_back(graph.switches[s]);
+  std::sort(updated_nodes.begin(), updated_nodes.end());
+
+  MigrationImpactProbe probe;
+  const auto run_phase = [&](perf::IntCollector& collector,
+                             std::function<void(std::uint64_t)> on_step) {
+    ProbeRun run;
+    fabric::CreditSimConfig config = options.sim;
+    config.int_mode.enabled = true;
+    config.int_mode.sink = &collector;
+    config.on_step = std::move(on_step);
+    run.sim = fabric::simulate_flows(fabric, victim_flows, config);
+    run.map = collector.build_map(options.top_k);
+    for (const auto& [tenant, blocked] : run.map.tenant_blocked) {
+      run.victim_blocked += blocked;
+    }
+    return run;
+  };
+
+  perf::IntCollector before, during, after;
+  probe.before = run_phase(before, options.sim.on_step);
+  bool migrated = false;
+  probe.during = run_phase(during, [&](std::uint64_t step) {
+    if (options.sim.on_step) options.sim.on_step(step);
+    if (step == options.migrate_at_step && !migrated) {
+      migrated = true;
+      probe.migration =
+          fabric_.migrate_vm(vm, dst_hypervisor, options.migration);
+    }
+  });
+  // A short probe may settle before migrate_at_step; migrate anyway so the
+  // "after" phase measures the post-move tables either way.
+  if (!migrated) {
+    probe.migration = fabric_.migrate_vm(vm, dst_hypervisor,
+                                         options.migration);
+  }
+  probe.after = run_phase(after, options.sim.on_step);
+
+  // Delta-blocking on every link of an updated switch that any phase saw.
+  std::map<perf::LinkKey, SharedLinkDelta> shared;
+  const auto fold = [&](const perf::CongestionMap& map,
+                        std::uint64_t SharedLinkDelta::*phase) {
+    for (const auto& [key, link] : map.links) {
+      if (!std::binary_search(updated_nodes.begin(), updated_nodes.end(),
+                              key.node)) {
+        continue;
+      }
+      auto& delta = shared[key];
+      delta.link = key;
+      delta.*phase = link.blocked.sum;
+    }
+  };
+  fold(probe.before.map, &SharedLinkDelta::blocked_before);
+  fold(probe.during.map, &SharedLinkDelta::blocked_during);
+  fold(probe.after.map, &SharedLinkDelta::blocked_after);
+  probe.shared_links.reserve(shared.size());
+  for (auto& [key, delta] : shared) probe.shared_links.push_back(delta);
+
+  span.set_attr("victim_blocked_before",
+                std::to_string(probe.before.victim_blocked));
+  span.set_attr("victim_blocked_during",
+                std::to_string(probe.during.victim_blocked));
+  span.set_attr("shared_links", std::to_string(probe.shared_links.size()));
+  return probe;
 }
 
 CloudOrchestrator::TxnPlanExecution CloudOrchestrator::execute_txn(

@@ -16,6 +16,8 @@
 
 #include "core/migration_txn.hpp"
 #include "core/vswitch.hpp"
+#include "fabric/credit_sim.hpp"
+#include "perf/int_collector.hpp"
 #include "perf/perf_mgr.hpp"
 
 namespace ibvs::cloud {
@@ -24,6 +26,9 @@ enum class Placement {
   kFirstFit,    ///< lowest-index hypervisor with a free VF
   kRoundRobin,  ///< cycle through hypervisors
   kSpread,      ///< least-loaded hypervisor first
+  /// Least-congested uplink first, judged by the attached INT congestion
+  /// map (attach_congestion). Without a map it degrades to first-fit.
+  kCongestionAware,
 };
 
 /// Wall-clock model of the non-IB parts of a live migration.
@@ -185,6 +190,86 @@ class CloudOrchestrator {
   /// detaches.
   void attach_perf(perf::PerfMgr* perf) noexcept { perf_ = perf; }
 
+  // --- INT congestion feedback (the control loop) ---
+
+  /// Attaches a fabric congestion map (perf::IntCollector::build_map):
+  /// kCongestionAware placement, fallback re-placement, and destination
+  /// ranking then steer away from hot uplinks. The map is not copied —
+  /// keep it alive, refresh it by re-attaching. nullptr detaches.
+  void attach_congestion(const perf::CongestionMap* map) noexcept {
+    congestion_ = map;
+  }
+  [[nodiscard]] bool congestion_aware() const noexcept {
+    return congestion_ != nullptr;
+  }
+
+  /// Blocked-step score of one hypervisor's uplink in the attached map:
+  /// the leaf egress toward the host (down direction) plus the vSwitch
+  /// uplink egress (up direction). 0 without a map — or when no sampled
+  /// packet ever queued there.
+  [[nodiscard]] std::uint64_t uplink_congestion(std::size_t h) const;
+
+  /// Migration-destination scoring: hypervisors with a free VF (excluding
+  /// the VM's current one), ranked by uplink congestion ascending, ties by
+  /// index. Front is the best destination under the attached map.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::uint64_t>>
+  rank_destinations(core::VmHandle vm) const;
+
+  /// One credit-sim pass of the victim flows with INT sampling on.
+  struct ProbeRun {
+    fabric::CreditSimReport sim;
+    perf::CongestionMap map;
+    /// Blocked steps the victim tenants' stacks reported, total.
+    std::uint64_t victim_blocked = 0;
+  };
+
+  /// Per-link blocking across the three probe phases, for links on
+  /// switches the migration updates.
+  struct SharedLinkDelta {
+    perf::LinkKey link;
+    std::uint64_t blocked_before = 0;
+    std::uint64_t blocked_during = 0;
+    std::uint64_t blocked_after = 0;
+
+    /// Extra blocking the migration transient inflicted on this link.
+    [[nodiscard]] std::int64_t transient_delta() const noexcept {
+      return static_cast<std::int64_t>(blocked_during) -
+             static_cast<std::int64_t>(blocked_before);
+    }
+  };
+
+  struct ProbeOptions {
+    /// Step of the "during" run at which the migration executes.
+    std::uint64_t migrate_at_step = 20;
+    core::MigrationOptions migration;
+    /// Base simulator config; int_mode.{enabled,sink} are overridden per
+    /// phase (sampling stays at the configured rate/seed).
+    fabric::CreditSimConfig sim;
+    std::size_t top_k = 8;
+  };
+
+  /// Measures what a migration does to traffic already on the wire: runs
+  /// `victim_flows` before, during (the migration fires mid-flight via
+  /// on_step), and after the move of `vm` to `dst_hypervisor`, each pass
+  /// INT-sampled into its own congestion map, and reports delta-blocking
+  /// on the links of every switch the migration updated. The migration is
+  /// real — the fabric ends up reconfigured.
+  struct MigrationImpactProbe {
+    ProbeRun before, during, after;
+    core::MigrationReport migration;
+    std::vector<SharedLinkDelta> shared_links;
+  };
+  MigrationImpactProbe probe_migration_impact(
+      core::VmHandle vm, std::size_t dst_hypervisor,
+      const std::vector<fabric::FlowSpec>& victim_flows,
+      const ProbeOptions& options);
+  MigrationImpactProbe probe_migration_impact(
+      core::VmHandle vm, std::size_t dst_hypervisor,
+      const std::vector<fabric::FlowSpec>& victim_flows) {
+    return probe_migration_impact(vm, dst_hypervisor, victim_flows,
+                                  ProbeOptions{});
+  }
+
  private:
   std::optional<std::size_t> pick_hypervisor();
   /// Placement only considers hypervisors whose PF is physically attached:
@@ -200,6 +285,7 @@ class CloudOrchestrator {
   FlowTiming timing_;
   std::size_t rr_next_ = 0;
   perf::PerfMgr* perf_ = nullptr;
+  const perf::CongestionMap* congestion_ = nullptr;
 };
 
 }  // namespace ibvs::cloud

@@ -5,10 +5,73 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 
 namespace ibvs::fabric {
 
 namespace {
+
+/// Registry handles resolved once per process (the de-lookup treatment
+/// TransportMetrics got): the simulator ticks these at end-of-run without
+/// taking the registry mutex, so INT-heavy runs on many threads don't
+/// serialize on family lookup.
+struct CreditSimMetrics {
+  telemetry::Counter* injected = nullptr;
+  telemetry::Counter* delivered = nullptr;
+  telemetry::Counter* dropped_timeout = nullptr;
+  telemetry::Counter* dropped_unrouted = nullptr;
+  telemetry::Counter* dropped_faulted = nullptr;
+  telemetry::Counter* deadlocks = nullptr;
+  telemetry::Gauge* stuck = nullptr;
+  telemetry::Gauge* steps = nullptr;
+  telemetry::Counter* int_sampled = nullptr;
+  telemetry::Counter* int_delivered = nullptr;
+  telemetry::Counter* int_truncated = nullptr;
+  telemetry::Counter* int_dropped = nullptr;
+  telemetry::Counter* int_overhead_dwords = nullptr;
+
+  static const CreditSimMetrics& get() {
+    static const CreditSimMetrics metrics = [] {
+      CreditSimMetrics m;
+      auto& reg = telemetry::Registry::global();
+      m.injected =
+          &reg.counter("ibvs_creditsim_packets_total",
+                       {{"outcome", "injected"}},
+                       "Credit-simulator packets by final outcome");
+      m.delivered = &reg.counter("ibvs_creditsim_packets_total",
+                                 {{"outcome", "delivered"}});
+      m.dropped_timeout = &reg.counter("ibvs_creditsim_packets_total",
+                                       {{"outcome", "dropped_timeout"}});
+      m.dropped_unrouted = &reg.counter("ibvs_creditsim_packets_total",
+                                        {{"outcome", "dropped_unrouted"}});
+      m.dropped_faulted = &reg.counter("ibvs_creditsim_packets_total",
+                                       {{"outcome", "dropped_faulted"}});
+      m.deadlocks =
+          &reg.counter("ibvs_creditsim_deadlocks_total", {},
+                       "Runs that wedged with timeouts disabled");
+      m.stuck = &reg.gauge(
+          "ibvs_creditsim_stuck_packets", {},
+          "Packets still in-network when the last run ended (credit stalls)");
+      m.steps = &reg.gauge("ibvs_creditsim_last_steps", {},
+                           "Steps the last run took to settle");
+      m.int_sampled =
+          &reg.counter("ibvs_int_packets_total", {{"outcome", "sampled"}},
+                       "INT-carrying packets by final stack outcome");
+      m.int_delivered = &reg.counter("ibvs_int_packets_total",
+                                     {{"outcome", "delivered"}});
+      m.int_truncated = &reg.counter("ibvs_int_packets_total",
+                                     {{"outcome", "truncated"}});
+      m.int_dropped =
+          &reg.counter("ibvs_int_packets_total", {{"outcome", "dropped"}});
+      m.int_overhead_dwords = &reg.counter(
+          "ibvs_int_overhead_dwords_total", {},
+          "In-band telemetry metadata dwords that crossed links (also "
+          "present in the PMA data counters of the ports traversed)");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 struct Packet {
   Lid dst;
@@ -16,6 +79,12 @@ struct Packet {
   std::uint32_t dwords = 0;         ///< payload size (PMA data units)
   bool marked = false;              ///< FECN-style congestion mark applied
   std::uint64_t blocked_since = 0;  ///< step the packet last moved
+  // --- INT mode ---
+  NodeId src = kInvalidNode;  ///< flow source (for the path record)
+  std::uint32_t tenant = 0;
+  bool has_int = false;       ///< sampled: carries a metadata stack
+  bool truncated = false;     ///< path outgrew the stack bound
+  std::vector<IntHop> stack;  ///< per-hop records, appended per switch
 };
 
 /// One directed link's receive buffers, one FIFO per VL.
@@ -37,7 +106,7 @@ bool ca_owns_lid(const Node& node, Lid lid) {
 class Simulator {
  public:
   Simulator(const Fabric& fabric, const CreditSimConfig& config)
-      : fabric_(fabric), config_(config) {
+      : fabric_(fabric), config_(config), int_rng_(config.int_mode.seed) {
     channel_of_.assign(fabric.size() * 256, ~0u);
     for (NodeId id = 0; id < fabric.size(); ++id) {
       const Node& n = fabric.node(id);
@@ -91,11 +160,21 @@ class Simulator {
         packet.vl = src.spec.vl;
         packet.dwords = src.spec.packet_dwords;
         packet.blocked_since = step;
+        packet.src = src.spec.src;
+        packet.tenant = src.spec.tenant;
+        if (config_.int_mode.enabled &&
+            int_rng_.uniform() < config_.int_mode.sample_rate) {
+          packet.has_int = true;
+          ++report_.int_sampled;
+        }
         count_link_crossing(channels_[src.first_channel], packet);
         ++src.sent;
         moved = true;
-        if (crossing_faulted(channels_[src.first_channel])) continue;
-        fifo.push_back(packet);
+        if (crossing_faulted(channels_[src.first_channel])) {
+          shed_int_stack(packet);
+          continue;
+        }
+        fifo.push_back(std::move(packet));
         ++in_flight;
       }
 
@@ -110,9 +189,11 @@ class Simulator {
             // Arrived at an endpoint.
             if (ca_owns_lid(here, packet.dst)) {
               ++report_.delivered;
+              deliver_int_stack(packet);
             } else {
               ++report_.dropped_unrouted;
               here.ports[channel.to_port].counters.add_rcv_error();
+              shed_int_stack(packet);
             }
             fifo.pop_front();
             --in_flight;
@@ -123,6 +204,7 @@ class Simulator {
           const std::uint32_t next = next_channel(here, channel, packet);
           if (next == kDeliveredHere) {
             ++report_.delivered;
+            deliver_int_stack(packet);
             fifo.pop_front();
             --in_flight;
             moved = true;
@@ -131,6 +213,7 @@ class Simulator {
           if (next == kDropChannel) {
             ++report_.dropped_unrouted;
             here.ports[channel.to_port].counters.add_rcv_error();
+            shed_int_stack(packet);
             fifo.pop_front();
             --in_flight;
             moved = true;
@@ -140,15 +223,23 @@ class Simulator {
           const Port& egress =
               fabric_.node(channels_[next].from).ports[channels_[next].from_port];
           if (next_fifo.size() < config_.credits_per_channel) {
+            // Forwarding happens: the switch appends its INT hop record
+            // (credit occupancy seen, steps spent blocked here) before the
+            // packet crosses — so the crossing's PMA data counters include
+            // the new record's dwords too.
+            if (packet.has_int) {
+              append_int_hop(packet, channel, next, step);
+            }
             packet.blocked_since = step;
             count_link_crossing(channels_[next], packet);
             if (crossing_faulted(channels_[next])) {
+              shed_int_stack(packet);
               fifo.pop_front();
               --in_flight;
               moved = true;
               continue;
             }
-            next_fifo.push_back(packet);
+            next_fifo.push_back(std::move(packet));
             fifo.pop_front();
             moved = true;
             continue;
@@ -165,6 +256,7 @@ class Simulator {
               step - packet.blocked_since >= config_.timeout_steps) {
             ++report_.dropped_timeout;
             egress.counters.add_xmit_discard();
+            shed_int_stack(packet);
             fifo.pop_front();
             --in_flight;
             moved = true;
@@ -183,6 +275,7 @@ class Simulator {
         // Nothing moved and no timeout can ever fire: permanently wedged.
         report_.deadlocked = true;
         report_.stuck = in_flight;
+        shed_stuck_int_stacks();
         return report_;
       }
       // With timeouts enabled a motionless step just ages the blocked
@@ -190,6 +283,7 @@ class Simulator {
     }
     report_.exhausted = true;
     report_.stuck = in_flight;
+    shed_stuck_int_stacks();
     return report_;
   }
 
@@ -198,11 +292,68 @@ class Simulator {
   static constexpr std::uint32_t kDeliveredHere = ~0u - 1;
 
   /// One link crossing: the transmitter's egress port counts xmit, the
-  /// receiver's ingress port counts rcv.
-  void count_link_crossing(const Channel& ch, const Packet& packet) const {
-    fabric_.node(ch.from).ports[ch.from_port].counters.add_xmit(
-        packet.dwords);
-    fabric_.node(ch.to).ports[ch.to_port].counters.add_rcv(packet.dwords);
+  /// receiver's ingress port counts rcv. A stacked INT packet is bigger on
+  /// the wire — its accumulated metadata is priced into the data counters.
+  void count_link_crossing(const Channel& ch, const Packet& packet) {
+    std::uint32_t dwords = packet.dwords;
+    if (packet.has_int && !packet.stack.empty()) {
+      const std::uint64_t overhead =
+          static_cast<std::uint64_t>(packet.stack.size()) *
+          config_.int_mode.dwords_per_hop;
+      dwords += static_cast<std::uint32_t>(overhead);
+      report_.int_overhead_dwords += overhead;
+    }
+    fabric_.node(ch.from).ports[ch.from_port].counters.add_xmit(dwords);
+    fabric_.node(ch.to).ports[ch.to_port].counters.add_rcv(dwords);
+  }
+
+  /// The switch at `arrived.to` forwards `packet` into channel `next`:
+  /// append its hop record, respecting the stack bound.
+  void append_int_hop(Packet& packet, const Channel& arrived,
+                      std::uint32_t next, std::uint64_t step) {
+    if (packet.stack.size() >= config_.int_mode.max_hops) {
+      packet.truncated = true;
+      return;
+    }
+    IntHop hop;
+    hop.node = arrived.to;
+    hop.ingress_port = arrived.to_port;
+    hop.egress_port = channels_[next].from_port;
+    hop.vl = packet.vl;
+    hop.occupancy =
+        static_cast<std::uint32_t>(channels_[next].vls[packet.vl].size());
+    hop.blocked_steps = step - packet.blocked_since;
+    packet.stack.push_back(hop);
+  }
+
+  /// Delivered sampled packet: hand the stack to the sink.
+  void deliver_int_stack(const Packet& packet) {
+    if (!packet.has_int) return;
+    ++report_.int_stacks_delivered;
+    if (packet.truncated) ++report_.int_stacks_truncated;
+    if (config_.int_mode.sink == nullptr) return;
+    IntPathRecord record;
+    record.src = packet.src;
+    record.dst = packet.dst;
+    record.tenant = packet.tenant;
+    record.truncated = packet.truncated;
+    record.hops = packet.stack;
+    config_.int_mode.sink->on_path(record);
+  }
+
+  /// Lost sampled packet: the stack dies with it, never reaching the sink.
+  void shed_int_stack(const Packet& packet) {
+    if (packet.has_int) ++report_.int_stacks_dropped;
+  }
+
+  /// Deadlocked/exhausted runs leave sampled packets in-network; their
+  /// stacks count as dropped so sampled == delivered + dropped always.
+  void shed_stuck_int_stacks() {
+    for (const auto& channel : channels_) {
+      for (const auto& fifo : channel.vls) {
+        for (const auto& packet : fifo) shed_int_stack(packet);
+      }
+    }
   }
 
   /// Asks the fault plane whether this crossing lost the packet; a drop
@@ -250,6 +401,7 @@ class Simulator {
   std::vector<Channel> channels_;
   std::vector<std::uint32_t> channel_of_;  ///< (node, port) -> channel
   CreditSimReport report_;
+  SplitMix64 int_rng_;  ///< seeded INT sampling stream (injection order)
 };
 
 }  // namespace
@@ -259,38 +411,36 @@ CreditSimReport simulate_flows(const Fabric& fabric,
                                const CreditSimConfig& config) {
   IBVS_REQUIRE(config.credits_per_channel > 0, "need at least one credit");
   IBVS_REQUIRE(config.num_vls >= 1, "need at least one VL");
+  if (config.int_mode.enabled) {
+    IBVS_REQUIRE(config.int_mode.max_hops > 0, "INT stack needs depth");
+    IBVS_REQUIRE(config.int_mode.sample_rate >= 0.0 &&
+                     config.int_mode.sample_rate <= 1.0,
+                 "INT sample rate is a fraction");
+  }
   auto span = telemetry::Tracer::global().span(
       "creditsim.run", {{"flows", std::to_string(flows.size())}});
   Simulator sim(fabric, config);
   const CreditSimReport report = sim.run(flows);
 
-  auto& reg = telemetry::Registry::global();
-  static telemetry::Counter& injected =
-      reg.counter("ibvs_creditsim_packets_total", {{"outcome", "injected"}},
-                  "Credit-simulator packets by final outcome");
-  static telemetry::Counter& delivered =
-      reg.counter("ibvs_creditsim_packets_total", {{"outcome", "delivered"}});
-  static telemetry::Counter& dropped_timeout = reg.counter(
-      "ibvs_creditsim_packets_total", {{"outcome", "dropped_timeout"}});
-  static telemetry::Counter& dropped_unrouted = reg.counter(
-      "ibvs_creditsim_packets_total", {{"outcome", "dropped_unrouted"}});
-  static telemetry::Counter& deadlocks = reg.counter(
-      "ibvs_creditsim_deadlocks_total", {},
-      "Runs that wedged with timeouts disabled");
-  static telemetry::Gauge& stuck = reg.gauge(
-      "ibvs_creditsim_stuck_packets", {},
-      "Packets still in-network when the last run ended (credit stalls)");
-  static telemetry::Gauge& steps = reg.gauge(
-      "ibvs_creditsim_last_steps", {}, "Steps the last run took to settle");
-  injected.inc(report.injected);
-  delivered.inc(report.delivered);
-  dropped_timeout.inc(report.dropped_timeout);
-  dropped_unrouted.inc(report.dropped_unrouted);
-  if (report.deadlocked) deadlocks.inc();
-  stuck.set(static_cast<double>(report.stuck));
-  steps.set(static_cast<double>(report.steps));
+  const CreditSimMetrics& m = CreditSimMetrics::get();
+  m.injected->inc(report.injected);
+  m.delivered->inc(report.delivered);
+  m.dropped_timeout->inc(report.dropped_timeout);
+  m.dropped_unrouted->inc(report.dropped_unrouted);
+  m.dropped_faulted->inc(report.dropped_faulted);
+  if (report.deadlocked) m.deadlocks->inc();
+  m.stuck->set(static_cast<double>(report.stuck));
+  m.steps->set(static_cast<double>(report.steps));
+  m.int_sampled->inc(report.int_sampled);
+  m.int_delivered->inc(report.int_stacks_delivered);
+  m.int_truncated->inc(report.int_stacks_truncated);
+  m.int_dropped->inc(report.int_stacks_dropped);
+  m.int_overhead_dwords->inc(report.int_overhead_dwords);
   span.set_attr("steps", std::to_string(report.steps));
   span.set_attr("deadlocked", report.deadlocked ? "true" : "false");
+  if (config.int_mode.enabled) {
+    span.set_attr("int_sampled", std::to_string(report.int_sampled));
+  }
   return report;
 }
 

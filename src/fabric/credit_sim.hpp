@@ -14,6 +14,18 @@
 // The simulator walks the *installed* (hardware) LFTs, so tables can be
 // mutated mid-flight (via the on_step hook) to reproduce the transient
 // old/new coexistence of a live migration.
+//
+// INT mode (in-band network telemetry): a seeded, configurable fraction of
+// packets carries a per-hop metadata stack. Every switch crossing appends
+// one IntHop — switch NodeId, ingress/egress ports, the egress
+// (channel, VL) credit occupancy at forwarding time, and the steps the
+// packet spent credit-blocked at that switch (a hop-latency proxy). The
+// stack is bounded (`max_hops`) and each stacked hop costs
+// `dwords_per_hop` extra dwords on every subsequent link, priced into the
+// PMA data counters — telemetry load is itself visible traffic. Delivered
+// stacks are handed to an IntSink (perf::IntCollector builds the fabric
+// congestion map from them); stacks on lost packets are shed, never
+// reported.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +44,59 @@ struct FlowSpec {
   std::uint8_t vl = 0;        ///< virtual lane (from the routing's layering)
   /// Payload size in 4-byte dwords (PMA data counters use this unit).
   std::uint32_t packet_dwords = 64;
+  /// Tenant owning the flow; INT stacks carry it so the congestion map can
+  /// attribute queueing to a tenant's paths (PMA counters cannot: they
+  /// aggregate per port).
+  std::uint32_t tenant = 0;
+};
+
+/// One INT metadata record, appended as the packet is forwarded by a switch
+/// (physical or vSwitch).
+struct IntHop {
+  NodeId node = kInvalidNode;  ///< the switch that appended this record
+  PortNum ingress_port = 0;    ///< where the packet arrived
+  PortNum egress_port = 0;     ///< the forwarding decision taken
+  std::uint8_t vl = 0;
+  /// Packets already queued in the egress (channel, VL) FIFO at forwarding
+  /// time — the instantaneous credit occupancy this packet saw.
+  std::uint32_t occupancy = 0;
+  /// Steps this packet spent credit-blocked at this switch before the
+  /// forward happened (hop-latency proxy in the step-based model).
+  std::uint64_t blocked_steps = 0;
+
+  [[nodiscard]] bool operator==(const IntHop&) const = default;
+};
+
+/// A delivered per-packet INT stack: the path record the last hop exports.
+struct IntPathRecord {
+  NodeId src = kInvalidNode;
+  Lid dst;
+  std::uint32_t tenant = 0;
+  bool truncated = false;  ///< the path was deeper than the stack bound
+  std::vector<IntHop> hops;
+};
+
+/// Consumer of delivered INT stacks (perf::IntCollector). Called once per
+/// delivered sampled packet, from the simulation thread, in delivery order.
+class IntSink {
+ public:
+  virtual ~IntSink() = default;
+  virtual void on_path(const IntPathRecord& record) = 0;
+};
+
+struct IntConfig {
+  bool enabled = false;
+  /// Fraction of injected packets that carry an INT stack, decided per
+  /// packet by a SplitMix64 stream seeded with `seed` (deterministic:
+  /// injection happens in flow order on the simulation thread).
+  double sample_rate = 1.0;
+  std::uint64_t seed = 0x1B7E1E5EED1234ULL;
+  /// Stack depth bound; deeper paths set `truncated` and stop appending.
+  std::size_t max_hops = 8;
+  /// Metadata cost per stacked hop, priced into every subsequent link
+  /// crossing's PMA data counters (kIntHopDwords by default).
+  std::uint32_t dwords_per_hop = kIntHopDwords;
+  IntSink* sink = nullptr;  ///< delivered stacks go here (may be null)
 };
 
 struct CreditSimConfig {
@@ -48,6 +113,8 @@ struct CreditSimConfig {
   /// dropped crossing loses the packet and ticks a symbol error at the
   /// receiver. Jitter is ignored — the simulator is step-, not time-based.
   LinkFaultModel* faults = nullptr;
+  /// In-band telemetry sampling (off by default: zero overhead).
+  IntConfig int_mode;
 };
 
 struct CreditSimReport {
@@ -60,6 +127,16 @@ struct CreditSimReport {
   std::size_t dropped_unrouted = 0;  ///< hit a drop entry / wrong delivery
   std::size_t dropped_faulted = 0;   ///< lost on an injected-faulty link
   std::size_t stuck = 0;             ///< packets still in-network at the end
+  // --- INT mode (all zero when int_mode.enabled is false). ---
+  std::size_t int_sampled = 0;            ///< packets injected with a stack
+  std::size_t int_stacks_delivered = 0;   ///< stacks handed to the sink
+  std::size_t int_stacks_truncated = 0;   ///< delivered but depth-capped
+  /// Sampled packets lost in-network (timeout/unrouted/faulted/stuck): their
+  /// stacks are shed and never reach the sink.
+  std::size_t int_stacks_dropped = 0;
+  /// Metadata dwords that crossed links — the in-band telemetry overhead,
+  /// also present in the PMA xmit/rcv data counters.
+  std::uint64_t int_overhead_dwords = 0;
 
   [[nodiscard]] bool all_delivered() const noexcept {
     return !deadlocked && !exhausted && stuck == 0 &&

@@ -26,6 +26,13 @@ namespace ibvs {
 /// this size on every port it traverses.
 inline constexpr std::uint32_t kMadDwords = 64;
 
+/// Default size of one in-band telemetry (INT) hop record carried in a data
+/// packet: 8 bytes = 2 dwords. Like MADs, INT metadata is accounted in the
+/// data counters of every port it traverses — a packet that stacked h hop
+/// records costs `payload + h * kIntHopDwords` dwords on its next link, so
+/// telemetry load is attributed to the same PMA counters as tenant traffic.
+inline constexpr std::uint32_t kIntHopDwords = 2;
+
 struct PortCounters {
   // --- Classic (saturating at field width). ---
   std::uint32_t xmit_data = 0;     ///< dwords transmitted

@@ -1,0 +1,274 @@
+#include "perf/int_collector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+
+namespace ibvs::perf {
+
+namespace {
+
+/// ibvs_int_* registry handles, resolved once (hot-path de-lookup).
+struct IntMetrics {
+  telemetry::Counter* stacks = nullptr;
+  telemetry::Counter* hops = nullptr;
+  telemetry::Counter* truncated = nullptr;
+  telemetry::Histogram* hop_blocked = nullptr;
+  telemetry::Histogram* hop_occupancy = nullptr;
+  telemetry::Gauge* hot_links = nullptr;
+  telemetry::Counter* map_builds = nullptr;
+
+  static const IntMetrics& get() {
+    static const IntMetrics metrics = [] {
+      IntMetrics m;
+      auto& reg = telemetry::Registry::global();
+      m.stacks = &reg.counter("ibvs_int_stacks_total", {},
+                              "Delivered INT stacks aggregated");
+      m.hops = &reg.counter("ibvs_int_hops_total", {},
+                            "Per-hop INT records aggregated");
+      m.truncated =
+          &reg.counter("ibvs_int_stacks_truncated_total", {},
+                       "Delivered stacks that hit the depth bound");
+      m.hop_blocked = &reg.histogram(
+          "ibvs_int_hop_blocked_steps", {},
+          telemetry::HistogramOptions{.min_bound = 1.0, .num_buckets = 20},
+          "Blocked steps one hop record reported (hop-latency proxy)");
+      m.hop_occupancy = &reg.histogram(
+          "ibvs_int_hop_occupancy", {},
+          telemetry::HistogramOptions{.min_bound = 1.0, .num_buckets = 10},
+          "Egress (channel, VL) credit occupancy at forwarding time");
+      m.hot_links = &reg.gauge(
+          "ibvs_int_hot_links", {},
+          "Hot links in the last congestion map built (top-k ranking size)");
+      m.map_builds = &reg.counter("ibvs_int_map_builds_total", {},
+                                  "Congestion maps built from INT stacks");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void Log2Distribution::observe(std::uint64_t v) noexcept {
+  counts[std::bit_width(v)] += 1;
+  ++total;
+  sum += v;
+  if (v > max) max = v;
+}
+
+std::uint64_t Log2Distribution::quantile(double q) const noexcept {
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      // Upper bound of bucket b: values with bit_width b are < 2^b.
+      const std::uint64_t bound = b == 0 ? 0 : (1ULL << b) - 1;
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+void IntCollector::on_path(const fabric::IntPathRecord& record) {
+  const IntMetrics& m = IntMetrics::get();
+  ++stacks_;
+  m.stacks->inc();
+  if (record.truncated) {
+    ++truncated_;
+    m.truncated->inc();
+  }
+  std::uint64_t path_blocked = 0;
+  for (const auto& hop : record.hops) {
+    ++hops_;
+    m.hops->inc();
+    m.hop_blocked->observe(static_cast<double>(hop.blocked_steps));
+    m.hop_occupancy->observe(static_cast<double>(hop.occupancy));
+    auto& link = links_[LinkKey{hop.node, hop.egress_port}];
+    ++link.samples;
+    link.occupancy.observe(hop.occupancy);
+    link.blocked.observe(hop.blocked_steps);
+    link.tenant_blocked[record.tenant] += hop.blocked_steps;
+    path_blocked += hop.blocked_steps;
+  }
+  tenant_blocked_[record.tenant] += path_blocked;
+  auto& flow =
+      flows_[FlowKey{record.src, record.dst.value(), record.tenant}];
+  ++flow.packets;
+  flow.blocked_total += path_blocked;
+  if (record.truncated) {
+    ++flow.truncated;
+  } else {
+    flow.last_hops = record.hops;
+  }
+}
+
+CongestionMap IntCollector::build_map(std::size_t top_k) const {
+  CongestionMap map;
+  map.stacks = stacks_;
+  map.hops = hops_;
+  map.truncated = truncated_;
+  map.links = links_;
+  map.tenant_blocked = tenant_blocked_;
+
+  // Rank by total blocked steps, then by key so ties are deterministic.
+  std::vector<HotLink> ranking;
+  ranking.reserve(links_.size());
+  for (const auto& [key, link] : links_) {
+    if (link.blocked.sum == 0) continue;  // never congested: not rankable
+    HotLink hot;
+    hot.link = key;
+    hot.blocked_total = link.blocked.sum;
+    hot.samples = link.samples;
+    hot.occupancy_p95 = link.occupancy.quantile(0.95);
+    hot.blocked_p95 = link.blocked.quantile(0.95);
+    ranking.push_back(hot);
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const HotLink& a, const HotLink& b) {
+              if (a.blocked_total != b.blocked_total) {
+                return a.blocked_total > b.blocked_total;
+              }
+              return a.link < b.link;
+            });
+  if (ranking.size() > top_k) ranking.resize(top_k);
+  map.hot_links = std::move(ranking);
+
+  const IntMetrics& m = IntMetrics::get();
+  m.hot_links->set(static_cast<double>(map.hot_links.size()));
+  m.map_builds->inc();
+  return map;
+}
+
+void IntCollector::reset() {
+  stacks_ = 0;
+  hops_ = 0;
+  truncated_ = 0;
+  links_.clear();
+  flows_.clear();
+  tenant_blocked_.clear();
+}
+
+std::uint64_t CongestionMap::blocked_on(NodeId node,
+                                        PortNum port) const noexcept {
+  const auto it = links.find(LinkKey{node, port});
+  return it == links.end() ? 0 : it->second.blocked.sum;
+}
+
+bool CongestionMap::is_hot(NodeId node, PortNum port) const noexcept {
+  const LinkKey key{node, port};
+  for (const auto& hot : hot_links) {
+    if (hot.link == key) return true;
+  }
+  return false;
+}
+
+std::string CongestionMap::to_json() const {
+  std::ostringstream os;
+  os << "{\"stacks\":" << stacks << ",\"hops\":" << hops
+     << ",\"truncated\":" << truncated << ",\"links\":[";
+  bool first = true;
+  for (const auto& [key, link] : links) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"node\":" << key.node << ",\"port\":" << unsigned{key.port}
+       << ",\"samples\":" << link.samples
+       << ",\"occupancy_p50\":" << link.occupancy.quantile(0.5)
+       << ",\"occupancy_p95\":" << link.occupancy.quantile(0.95)
+       << ",\"occupancy_max\":" << link.occupancy.max
+       << ",\"blocked_p50\":" << link.blocked.quantile(0.5)
+       << ",\"blocked_p95\":" << link.blocked.quantile(0.95)
+       << ",\"blocked_max\":" << link.blocked.max
+       << ",\"blocked_total\":" << link.blocked.sum << ",\"tenants\":[";
+    bool tfirst = true;
+    for (const auto& [tenant, blocked] : link.tenant_blocked) {
+      if (!tfirst) os << ",";
+      tfirst = false;
+      os << "{\"tenant\":" << tenant << ",\"blocked\":" << blocked << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"hot_links\":[";
+  first = true;
+  for (const auto& hot : hot_links) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"node\":" << hot.link.node
+       << ",\"port\":" << unsigned{hot.link.port}
+       << ",\"blocked_total\":" << hot.blocked_total
+       << ",\"samples\":" << hot.samples
+       << ",\"occupancy_p95\":" << hot.occupancy_p95
+       << ",\"blocked_p95\":" << hot.blocked_p95 << "}";
+  }
+  os << "],\"tenants\":[";
+  first = true;
+  for (const auto& [tenant, blocked] : tenant_blocked) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"tenant\":" << tenant << ",\"blocked\":" << blocked << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string_view to_string(LinkVerdict verdict) noexcept {
+  switch (verdict) {
+    case LinkVerdict::kHot:
+      return "hot";
+    case LinkVerdict::kBroken:
+      return "broken";
+    case LinkVerdict::kHotAndBroken:
+      return "hot+broken";
+  }
+  return "?";
+}
+
+std::vector<LinkDiagnosis> fuse_with_health(const CongestionMap& map,
+                                            const HealthReport& health) {
+  // Index the health findings (non-Ok ports) by link.
+  std::map<LinkKey, const PortFinding*> broken;
+  for (const auto& finding : health.findings) {
+    broken[LinkKey{finding.node, finding.port}] = &finding;
+  }
+
+  std::map<LinkKey, LinkDiagnosis> out;
+  for (const auto& hot : map.hot_links) {
+    LinkDiagnosis d;
+    d.link = hot.link;
+    d.blocked_total = hot.blocked_total;
+    const auto it = broken.find(hot.link);
+    if (it != broken.end()) {
+      d.verdict = LinkVerdict::kHotAndBroken;
+      d.reason = "INT: " + std::to_string(hot.blocked_total) +
+                 " blocked steps; PMA: " + it->second->reason;
+    } else {
+      d.verdict = LinkVerdict::kHot;
+      d.reason = "INT: " + std::to_string(hot.blocked_total) +
+                 " blocked steps, no PMA errors — congestion, not a fault";
+    }
+    out[d.link] = std::move(d);
+  }
+  for (const auto& [key, finding] : broken) {
+    if (out.count(key) != 0) continue;
+    LinkDiagnosis d;
+    d.link = key;
+    d.verdict = LinkVerdict::kBroken;
+    d.blocked_total = map.blocked_on(key.node, key.port);
+    d.reason = "PMA: " + finding->reason + "; INT sees no queueing";
+    out[key] = std::move(d);
+  }
+
+  std::vector<LinkDiagnosis> result;
+  result.reserve(out.size());
+  for (auto& [key, d] : out) result.push_back(std::move(d));
+  return result;
+}
+
+}  // namespace ibvs::perf

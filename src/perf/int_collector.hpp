@@ -1,0 +1,173 @@
+// INT collector: from delivered per-packet hop stacks to a fabric-wide
+// congestion map.
+//
+// The credit simulator's INT mode (fabric/credit_sim.hpp) samples packets
+// and appends one metadata record per switch crossing; this sink aggregates
+// the delivered stacks into:
+//
+//  * per-flow path records — the last observed path and the queueing it
+//    met, keyed by (src, dst LID, tenant);
+//  * per-link congestion stats — occupancy and blocked-step distributions
+//    (log2-bucketed, so percentiles are deterministic and memory stays
+//    O(links)) for every (switch, egress port) that appeared in a stack,
+//    with per-tenant blocked-step attribution;
+//  * a CongestionMap — the control-plane export: per-link percentiles,
+//    top-k hot links by blocked steps, per-tenant totals, serialized to
+//    JSON for the benches' --int-out flag and summarized into the metrics
+//    registry (ibvs_int_* families).
+//
+// This is the signal PMA port counters structurally cannot provide: a
+// counter aggregates everything that crossed the port, so it cannot say
+// *whose* packets queued there. The stack can. fuse_with_health() combines
+// the map with PerfMgr's PMA-delta view so a hot link (queueing, no errors)
+// is distinguishable from a broken one (symbol errors, discards).
+//
+// Aggregation is deterministic: records arrive in delivery order from the
+// (single-threaded) simulator, all containers are ordered maps, and the
+// JSON export is byte-stable for a given record stream regardless of the
+// global thread pool's size.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fabric/credit_sim.hpp"
+#include "perf/health.hpp"
+
+namespace ibvs::perf {
+
+/// A directed link identified by its transmitting (egress) side.
+struct LinkKey {
+  NodeId node = kInvalidNode;
+  PortNum port = 0;
+  [[nodiscard]] auto operator<=>(const LinkKey&) const = default;
+};
+
+/// Log2-bucketed distribution: bucket b counts values v with
+/// bit_width(v) == b (bucket 0 is v == 0). Percentile estimates report the
+/// bucket's upper bound — coarse, but deterministic and O(1) memory.
+struct Log2Distribution {
+  static constexpr std::size_t kBuckets = 65;
+  std::uint64_t counts[kBuckets] = {};
+  std::uint64_t total = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void observe(std::uint64_t v) noexcept;
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  [[nodiscard]] double mean() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(sum) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Everything the stacks said about one link.
+struct LinkCongestion {
+  std::uint64_t samples = 0;  ///< hop records naming this egress
+  Log2Distribution occupancy;
+  Log2Distribution blocked;
+  /// Blocked steps attributed per tenant — the question PMA counters
+  /// cannot answer.
+  std::map<std::uint32_t, std::uint64_t> tenant_blocked;
+};
+
+/// One entry of the top-k hot-link ranking.
+struct HotLink {
+  LinkKey link;
+  std::uint64_t blocked_total = 0;  ///< sum of blocked steps observed here
+  std::uint64_t samples = 0;
+  std::uint64_t occupancy_p95 = 0;
+  std::uint64_t blocked_p95 = 0;
+};
+
+/// The last path one flow took and the queueing it met.
+struct FlowPath {
+  std::uint64_t packets = 0;         ///< delivered sampled packets
+  std::uint64_t blocked_total = 0;   ///< across all sampled packets
+  std::uint64_t truncated = 0;
+  std::vector<fabric::IntHop> last_hops;  ///< most recent complete stack
+};
+
+struct FlowKey {
+  NodeId src = kInvalidNode;
+  std::uint32_t dst_lid = 0;
+  std::uint32_t tenant = 0;
+  [[nodiscard]] auto operator<=>(const FlowKey&) const = default;
+};
+
+/// Control-plane export of the aggregated stacks.
+struct CongestionMap {
+  std::uint64_t stacks = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t truncated = 0;
+  std::map<LinkKey, LinkCongestion> links;
+  std::vector<HotLink> hot_links;  ///< top-k by blocked_total, ties by key
+  std::map<std::uint32_t, std::uint64_t> tenant_blocked;
+
+  /// Total blocked steps the stacks attribute to this egress (0 when the
+  /// link never appeared — i.e. no sampled packet crossed it).
+  [[nodiscard]] std::uint64_t blocked_on(NodeId node,
+                                         PortNum port) const noexcept;
+  /// Is (node, port) in the hot-link ranking?
+  [[nodiscard]] bool is_hot(NodeId node, PortNum port) const noexcept;
+
+  /// Deterministic JSON ({"stacks":..., "links":[...],
+  /// "hot_links":[...], "tenants":[...]}) — the payload of --int-out.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// IntSink implementation: aggregate stacks, build maps. Feed it from one
+/// simulation at a time (the simulator is single-threaded); reset() between
+/// scenarios that must not mix.
+class IntCollector : public fabric::IntSink {
+ public:
+  void on_path(const fabric::IntPathRecord& record) override;
+
+  /// Builds the congestion map from everything collected so far and
+  /// refreshes the ibvs_int_* registry summary (hot-link gauge, histogram
+  /// observations are ticked per record in on_path).
+  [[nodiscard]] CongestionMap build_map(std::size_t top_k = 8) const;
+
+  [[nodiscard]] const std::map<FlowKey, FlowPath>& flows() const noexcept {
+    return flows_;
+  }
+  [[nodiscard]] std::uint64_t stacks() const noexcept { return stacks_; }
+
+  void reset();
+
+ private:
+  std::uint64_t stacks_ = 0;
+  std::uint64_t hops_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::map<LinkKey, LinkCongestion> links_;
+  std::map<FlowKey, FlowPath> flows_;
+  std::map<std::uint32_t, std::uint64_t> tenant_blocked_;
+};
+
+/// PMA ∪ INT fusion verdict for one link.
+enum class LinkVerdict : std::uint8_t {
+  kHot,          ///< INT sees queueing, PMA sees no errors: congestion
+  kBroken,       ///< PMA sees errors, INT sees no queueing: link fault
+  kHotAndBroken, ///< both — a dying link backing traffic up
+};
+
+[[nodiscard]] std::string_view to_string(LinkVerdict verdict) noexcept;
+
+struct LinkDiagnosis {
+  LinkKey link;
+  LinkVerdict verdict = LinkVerdict::kHot;
+  std::uint64_t blocked_total = 0;  ///< from the map (0 for pure kBroken)
+  std::string reason;               ///< health finding / hot-link evidence
+};
+
+/// Fuses the congestion map with a PerfMgr health report: every hot link
+/// and every non-Ok health finding yields one diagnosis, so "hot" is
+/// distinguishable from "broken" (and from both). Deterministic order
+/// (sorted by LinkKey).
+[[nodiscard]] std::vector<LinkDiagnosis> fuse_with_health(
+    const CongestionMap& map, const HealthReport& health);
+
+}  // namespace ibvs::perf

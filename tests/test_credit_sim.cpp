@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "fabric/credit_sim.hpp"
+#include "perf/int_collector.hpp"
 #include "tests/helpers.hpp"
 #include "topology/irregular.hpp"
 
@@ -273,6 +274,194 @@ TEST(CreditSim, LoopbackAndUnroutedCounting) {
   EXPECT_EQ(report.dropped_unrouted, 5u);
   EXPECT_EQ(report.delivered, 0u);
   EXPECT_FALSE(report.deadlocked);
+}
+
+// --- INT mode ---------------------------------------------------------
+
+TEST(CreditSimInt, StacksDeliveredAndOverheadAccounted) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  std::vector<FlowSpec> flows;
+  for (NodeId src : s.hosts) {
+    for (NodeId dst : s.hosts) {
+      if (src != dst) {
+        flows.push_back(FlowSpec{src, s.fabric.node(dst).lid(), 3, 0});
+      }
+    }
+  }
+  perf::IntCollector collector;
+  CreditSimConfig config;
+  config.int_mode.enabled = true;  // sample_rate 1.0: every packet stacks
+  config.int_mode.sink = &collector;
+  const auto report = fabric::simulate_flows(s.fabric, flows, config);
+  EXPECT_TRUE(report.all_delivered());
+  EXPECT_EQ(report.int_sampled, report.injected);
+  EXPECT_EQ(report.int_stacks_delivered, report.delivered);
+  EXPECT_EQ(report.int_stacks_dropped, 0u);
+  EXPECT_EQ(collector.stacks(), report.int_stacks_delivered);
+  // Every path crosses at least one switch, so metadata crossed links.
+  EXPECT_GT(report.int_overhead_dwords, 0u);
+}
+
+TEST(CreditSimInt, SamplingIsSeededAndDeterministic) {
+  auto a = test::PhysicalSubnet::small_fat_tree();
+  a.sm->full_sweep();
+  std::vector<FlowSpec> flows;
+  for (NodeId src : a.hosts) {
+    for (NodeId dst : a.hosts) {
+      if (src != dst) {
+        flows.push_back(FlowSpec{src, a.fabric.node(dst).lid(), 4, 0});
+      }
+    }
+  }
+  const auto run = [&flows](test::PhysicalSubnet& s, std::uint64_t seed) {
+    perf::IntCollector collector;
+    CreditSimConfig config;
+    config.int_mode.enabled = true;
+    config.int_mode.sample_rate = 0.5;
+    config.int_mode.seed = seed;
+    config.int_mode.sink = &collector;
+    const auto report = fabric::simulate_flows(s.fabric, flows, config);
+    return std::pair{report.int_sampled,
+                     collector.build_map(4).to_json()};
+  };
+  const auto first = run(a, 99);
+  EXPECT_GT(first.first, 0u);
+  EXPECT_LT(first.first, flows.size() * 4);  // 50%: neither none nor all
+  auto b = test::PhysicalSubnet::small_fat_tree();
+  b.sm->full_sweep();
+  const auto second = run(b, 99);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);  // byte-identical map
+}
+
+/// Fault plane dropping every crossing that arrives at one node.
+struct DropInto final : fabric::LinkFaultModel {
+  NodeId victim;
+  explicit DropInto(NodeId v) : victim(v) {}
+  bool drop_on_link(NodeId, PortNum, NodeId to, PortNum) override {
+    return to == victim;
+  }
+  double jitter_us(NodeId, PortNum, NodeId, PortNum) override { return 0; }
+};
+
+TEST(CreditSimInt, FaultedLinkShedsStackBeforeTheCollector) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  const NodeId victim = s.hosts[1];
+  // Packets die on their final link; their INT stacks must die with them.
+  std::vector<FlowSpec> flows{
+      FlowSpec{s.hosts[0], s.fabric.node(victim).lid(), 5, 0}};
+  DropInto faults(victim);
+  perf::IntCollector collector;
+  CreditSimConfig config;
+  config.faults = &faults;
+  config.int_mode.enabled = true;
+  config.int_mode.sink = &collector;
+  const auto report = fabric::simulate_flows(s.fabric, flows, config);
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_EQ(report.dropped_faulted, 5u);
+  EXPECT_EQ(report.int_sampled, 5u);
+  EXPECT_EQ(report.int_stacks_dropped, 5u);
+  EXPECT_EQ(report.int_stacks_delivered, 0u);
+  EXPECT_EQ(collector.stacks(), 0u);  // nothing leaked to the sink
+  // The receiver still attributes the loss: symbol errors at its port.
+  const auto attach = s.fabric.physical_attachment(victim);
+  ASSERT_TRUE(attach.has_value());
+  EXPECT_EQ(s.fabric.node(victim).ports[1].counters.symbol_errors, 5u);
+}
+
+TEST(CreditSimInt, PmaAttributionIsUnchangedByIntMode) {
+  // INT metadata rides inside data packets: it must not perturb scheduling,
+  // waits, congestion marks, or fault attribution — only the data dwords.
+  const auto build_flows = [](test::PhysicalSubnet& s) {
+    std::vector<FlowSpec> flows;  // incast onto host 0 plus cross traffic
+    const Lid hot = s.fabric.node(s.hosts[0]).lid();
+    for (std::size_t i = 1; i < s.hosts.size(); ++i) {
+      flows.push_back(FlowSpec{s.hosts[i], hot, 8, 0});
+    }
+    return flows;
+  };
+  const auto run = [&](bool int_on) {
+    auto s = test::PhysicalSubnet::small_fat_tree();
+    s.sm->full_sweep();
+    DropInto faults(s.hosts[2]);
+    auto flows = build_flows(s);
+    flows.push_back(  // a flow that dies on a faulted link
+        FlowSpec{s.hosts[3], s.fabric.node(s.hosts[2]).lid(), 4, 0});
+    CreditSimConfig config;
+    config.credits_per_channel = 1;
+    config.faults = &faults;
+    config.int_mode.enabled = int_on;
+    const auto report = fabric::simulate_flows(s.fabric, flows, config);
+    EXPECT_EQ(report.dropped_faulted, 4u);
+    struct PortStats {
+      std::uint32_t xmit_wait, xmit_data;
+      std::uint16_t symbol_errors, congestion_marks;
+    };
+    std::vector<PortStats> stats;
+    std::uint64_t data = 0;
+    for (NodeId n = 0; n < s.fabric.size(); ++n) {
+      const auto& node = s.fabric.node(n);
+      for (std::size_t p = 1; p < node.ports.size(); ++p) {
+        const auto& c = node.ports[p].counters;
+        stats.push_back(PortStats{c.xmit_wait, c.xmit_data, c.symbol_errors,
+                                  c.congestion_marks});
+        data += c.xmit_data;
+      }
+    }
+    return std::pair{stats, data};
+  };
+  const auto [off, off_data] = run(false);
+  const auto [on, on_data] = run(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].xmit_wait, on[i].xmit_wait) << "port " << i;
+    EXPECT_EQ(off[i].symbol_errors, on[i].symbol_errors) << "port " << i;
+    EXPECT_EQ(off[i].congestion_marks, on[i].congestion_marks)
+        << "port " << i;
+    EXPECT_LE(off[i].xmit_data, on[i].xmit_data) << "port " << i;
+  }
+  EXPECT_GT(on_data, off_data);  // the telemetry overhead is PMA-visible
+}
+
+TEST(CreditSimInt, DeepPathsTruncateAtTheStackBound) {
+  // A long ring path outgrows a 2-hop stack bound: the record is delivered
+  // truncated, and hops stop being appended (bounded overhead).
+  RoutedRing ring(EngineKind::kUpDown, /*switches=*/7);
+  std::vector<FlowSpec> flows{FlowSpec{
+      ring.hosts[0], ring.fabric.node(ring.hosts[4]).lid(), 3, 0}};
+  perf::IntCollector collector;
+  CreditSimConfig config;
+  config.int_mode.enabled = true;
+  config.int_mode.max_hops = 2;
+  config.int_mode.sink = &collector;
+  const auto report = fabric::simulate_flows(ring.fabric, flows, config);
+  EXPECT_TRUE(report.all_delivered());
+  EXPECT_EQ(report.int_stacks_truncated, 3u);
+  EXPECT_EQ(collector.stacks(), 3u);
+  for (const auto& [key, flow] : collector.flows()) {
+    EXPECT_EQ(flow.truncated, 3u);
+  }
+  const auto map = collector.build_map(8);
+  EXPECT_EQ(map.truncated, 3u);
+  EXPECT_EQ(map.hops, 6u);  // 2 hops per packet, never more
+}
+
+TEST(CreditSimInt, InvalidIntConfigThrows) {
+  auto s = test::PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  std::vector<FlowSpec> flows{
+      FlowSpec{s.hosts[0], s.fabric.node(s.hosts[1]).lid(), 1, 0}};
+  CreditSimConfig bad;
+  bad.int_mode.enabled = true;
+  bad.int_mode.max_hops = 0;
+  EXPECT_THROW(fabric::simulate_flows(s.fabric, flows, bad),
+               std::invalid_argument);
+  bad.int_mode.max_hops = 8;
+  bad.int_mode.sample_rate = 1.5;
+  EXPECT_THROW(fabric::simulate_flows(s.fabric, flows, bad),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -8,8 +8,10 @@
 // running the same scenario at 1 and 4 threads and comparing everything.
 #include <gtest/gtest.h>
 
+#include "fabric/credit_sim.hpp"
 #include "inject/chaos.hpp"
 #include "inject/checker.hpp"
+#include "perf/int_collector.hpp"
 #include "tests/helpers.hpp"
 #include "util/thread_pool.hpp"
 
@@ -117,6 +119,42 @@ TEST(ParallelDeterminism, ChaosDigestMatchesSingleThreaded) {
     EXPECT_TRUE(report.all_converged);
   }
   EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(ParallelDeterminism, IntCongestionMapMatchesSingleThreaded) {
+  // The INT pipeline — seeded sampling, stack aggregation, map build, JSON
+  // export — must be byte-identical regardless of the global pool size (the
+  // pool may run sweep phases while telemetry collects).
+  std::string jsons[2];
+  std::size_t sampled[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    ThreadGuard guard(run == 0 ? 1 : 4);
+    auto s = PhysicalSubnet::small_fat_tree();
+    s.sm->full_sweep();
+    std::vector<fabric::FlowSpec> flows;
+    for (std::size_t i = 1; i < s.hosts.size(); ++i) {
+      fabric::FlowSpec f;
+      f.src = s.hosts[i];
+      f.dst = s.fabric.node(s.hosts[0]).lid();
+      f.packets = 8;
+      f.tenant = static_cast<std::uint32_t>(i % 3);
+      flows.push_back(f);
+    }
+    perf::IntCollector collector;
+    fabric::CreditSimConfig config;
+    config.credits_per_channel = 1;
+    config.int_mode.enabled = true;
+    config.int_mode.sample_rate = 0.5;
+    config.int_mode.seed = 2026;
+    config.int_mode.sink = &collector;
+    const auto report = fabric::simulate_flows(s.fabric, flows, config);
+    EXPECT_TRUE(report.all_delivered());
+    sampled[run] = report.int_sampled;
+    jsons[run] = collector.build_map(8).to_json();
+  }
+  ASSERT_GT(sampled[0], 0u);
+  EXPECT_EQ(sampled[0], sampled[1]);
+  EXPECT_EQ(jsons[0], jsons[1]);  // byte-identical at 1 vs 4 threads
 }
 
 // Regression: distribute_lfts() used to push blocks at switches the SM has
