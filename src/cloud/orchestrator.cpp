@@ -89,14 +89,15 @@ std::optional<std::size_t> CloudOrchestrator::pick_hypervisor() {
       return std::nullopt;
     }
     case Placement::kSpread: {
+      // Occupancy straight off the per-hypervisor free-list: O(hosts), not
+      // O(hosts * VMs) — the difference between a planner pass and a
+      // quadratic stall at fleet scale.
       std::optional<std::size_t> best;
       std::size_t best_used = std::numeric_limits<std::size_t>::max();
       for (std::size_t h = 0; h < hyps.size(); ++h) {
-        if (!fabric_.free_vf_on(h) || !hypervisor_attached(h)) continue;
-        std::size_t used = 0;
-        for (std::uint32_t id : fabric_.active_vm_ids()) {
-          if (fabric_.vm(core::VmHandle{id}).hypervisor == h) ++used;
-        }
+        const std::size_t free = fabric_.free_vf_count(h);
+        if (free == 0 || !hypervisor_attached(h)) continue;
+        const std::size_t used = hyps[h].vfs.size() - free;
         if (used < best_used) {
           best_used = used;
           best = h;
@@ -144,13 +145,20 @@ CloudOrchestrator::rank_destinations(core::VmHandle vm) const {
   const auto& hyps = fabric_.hypervisors();
   for (std::size_t h = 0; h < hyps.size(); ++h) {
     if (h == src) continue;
-    if (!fabric_.free_vf_on(h) || !hypervisor_attached(h)) continue;
+    if (fabric_.free_vf_count(h) == 0 || !hypervisor_attached(h)) continue;
     ranked.emplace_back(h, uplink_congestion(h));
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second < b.second;
-                   });
+  // Equal congestion scores tie-break on the PF NodeId, then the index: a
+  // total order independent of enumeration quirks, so seeded plans
+  // reproduce byte-identically across platforms and thread counts.
+  std::sort(ranked.begin(), ranked.end(),
+            [&hyps](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              const NodeId pf_a = hyps[a.first].pf;
+              const NodeId pf_b = hyps[b.first].pf;
+              if (pf_a != pf_b) return pf_a < pf_b;
+              return a.first < b.first;
+            });
   return ranked;
 }
 
@@ -263,6 +271,50 @@ std::vector<routing::SwitchIdx> CloudOrchestrator::predict_update_set(
     const auto new_sw = routing.graph.dense(hyps[dst_hypervisor].leaf);
     return core::minimal_update_set(routing.graph, delta, new_sw,
                                     hyps[dst_hypervisor].leaf_port);
+  }
+  return core::changed_switches(delta);
+}
+
+std::vector<routing::SwitchIdx> CloudOrchestrator::predict_swap_update_set(
+    core::VmHandle vm_a, core::VmHandle vm_b,
+    core::ReconfigMode mode) const {
+  const auto& sm = fabric_.subnet_manager();
+  const auto& routing = sm.routing_result();
+  const auto& a = fabric_.vm(vm_a);
+  const auto& b = fabric_.vm(vm_b);
+  const auto& hyps = fabric_.hypervisors();
+
+  // The swap is the symmetric entry exchange: each LID takes the other's
+  // entries, so both change on exactly the switches where they differ.
+  core::EntryDelta delta;       // vm_a's LID takes vm_b's entries
+  core::EntryDelta peer_delta;  // and vice versa
+  const std::size_t s_count = routing.graph.num_switches();
+  delta.old_entry.resize(s_count);
+  delta.new_entry.resize(s_count);
+  peer_delta.old_entry.resize(s_count);
+  peer_delta.new_entry.resize(s_count);
+  for (routing::SwitchIdx s = 0; s < s_count; ++s) {
+    const PortNum pa = routing.lfts[s].get(a.lid);
+    const PortNum pb = routing.lfts[s].get(b.lid);
+    delta.old_entry[s] = pa;
+    delta.new_entry[s] = pb;
+    peer_delta.old_entry[s] = pb;
+    peer_delta.new_entry[s] = pa;
+  }
+  if (mode == core::ReconfigMode::kMinimal) {
+    // Each LID's own skyline toward its new attachment, unioned — the same
+    // per-LID fixpoint rule txn_apply_lfts enforces.
+    const auto set_a = core::minimal_update_set(
+        routing.graph, delta, routing.graph.dense(hyps[b.hypervisor].leaf),
+        hyps[b.hypervisor].leaf_port);
+    const auto set_b = core::minimal_update_set(
+        routing.graph, peer_delta,
+        routing.graph.dense(hyps[a.hypervisor].leaf),
+        hyps[a.hypervisor].leaf_port);
+    std::vector<routing::SwitchIdx> merged;
+    std::set_union(set_a.begin(), set_a.end(), set_b.begin(), set_b.end(),
+                   std::back_inserter(merged));
+    return merged;
   }
   return core::changed_switches(delta);
 }
@@ -450,6 +502,103 @@ MigrationTxnReport CloudOrchestrator::migrate_txn(
         }
         // No fallback: retry the same destination — it may come back.
       }
+    }
+  }
+
+  if (report.outcome != TxnOutcome::kCommitted) {
+    report.outcome = opened_txn ? TxnOutcome::kRolledBack : TxnOutcome::kFailed;
+    if (!opened_txn) CloudMetrics::get().migrations_failed.inc();
+  }
+  span.set_attr("outcome", to_string(report.outcome));
+  span.set_attr("attempts", std::to_string(report.attempts));
+  return report;
+}
+
+MigrationTxnReport CloudOrchestrator::swap_txn(
+    core::VmHandle vm_a, core::VmHandle vm_b,
+    const core::MigrationOptions& options, const TxnPolicy& policy) {
+  auto span = telemetry::Tracer::global().span("cloud.swap_txn");
+  MigrationTxnReport report;
+  bool opened_txn = false;
+
+  const auto enter = [&](core::MigrationTxn& txn, core::TxnState state) {
+    txn.state = state;
+    if (policy.on_step) policy.on_step(state, txn);
+  };
+
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    report.attempts = attempt;
+    if (attempt > 1) {
+      report.elapsed_s +=
+          policy.backoff_base_s * static_cast<double>(1ULL << (attempt - 2));
+    }
+    std::optional<core::MigrationTxn> txn;
+    try {
+      txn = fabric_.begin_swap(vm_a, vm_b, options);
+    } catch (const core::MigrationError& e) {
+      // No replacement path for a swap: the destination IS the peer.
+      report.error = e.what();
+      break;
+    }
+    opened_txn = true;
+    report.dst_hypervisor = txn->dst_hypervisor;
+    try {
+      if (policy.on_step) policy.on_step(core::TxnState::kPrepared, *txn);
+      // Both VFs detach and both memories pre-copy concurrently (the
+      // copies cross different host pairs' links), so the wall clock pays
+      // each phase once, not twice.
+      enter(*txn, core::TxnState::kDetached);
+      report.elapsed_s += timing_.detach_vf_s;
+      enter(*txn, core::TxnState::kCopied);
+      report.elapsed_s += timing_.memory_copy_s() + timing_.signal_s;
+      fabric_.txn_move_addresses(*txn);
+      if (policy.on_step) {
+        policy.on_step(core::TxnState::kReconfiguring, *txn);
+      }
+      fabric_.txn_apply_lfts(
+          *txn, core::VSwitchFabric::ApplyOptions{.require_reachable = true});
+      const double reconfig_us =
+          txn->stats.lft_time_us + txn->stats.drain_time_us;
+      report.elapsed_s += reconfig_us * 1e-6;
+      double budget_us = policy.reconfig_timeout_us;
+      if (budget_us <= 0.0) {
+        const auto& tm = fabric_.subnet_manager().transport().timing();
+        // One extra address SMP against the plain-migration budget: a swap
+        // sends four (two LIDs, two vGUIDs).
+        budget_us = tm.mad_budget_us(8) *
+                    static_cast<double>(txn->stats.switches_total + 4);
+      }
+      if (reconfig_us > budget_us) {
+        throw core::MigrationError(
+            core::MigrationErrc::kStepTimeout,
+            "reconfiguration took " + std::to_string(reconfig_us) +
+                "us against a budget of " + std::to_string(budget_us) + "us");
+      }
+      enter(*txn, core::TxnState::kAttached);
+      report.elapsed_s += timing_.attach_vf_s;
+      if (!hypervisor_attached(txn->dst_hypervisor) ||
+          !hypervisor_attached(txn->src_hypervisor)) {
+        throw core::MigrationError(
+            core::MigrationErrc::kDestinationDetached,
+            "a swap endpoint died before the VF attach");
+      }
+      fabric_.txn_commit(*txn);
+      report.outcome = TxnOutcome::kCommitted;
+      report.reconfig = txn->stats;
+      report.error.clear();
+      break;
+    } catch (const core::MigrationError& e) {
+      report.error = e.what();
+      if (!txn->terminal()) fabric_.txn_rollback(*txn);
+      report.rollback_smps += txn->rollback_smps;
+      report.elapsed_s += txn->rollback_time_us * 1e-6;
+      const auto code = e.code();
+      const bool retryable =
+          code == core::MigrationErrc::kDestinationDetached ||
+          code == core::MigrationErrc::kSwitchUnreachable ||
+          code == core::MigrationErrc::kStepTimeout ||
+          code == core::MigrationErrc::kInterrupted;
+      if (!retryable) break;
     }
   }
 

@@ -140,12 +140,29 @@ class CloudOrchestrator {
                                  const core::MigrationOptions& options = {},
                                  const TxnPolicy& policy = {});
 
+  /// Destination-swap as a policy-driven transaction: both VMs trade slots
+  /// through one fused MigrationTxn (core::VSwitchFabric::begin_swap). No
+  /// re-placement on failure — the destination *is* the peer — but
+  /// transient faults (unreachable switch, step timeout) retry under the
+  /// same backoff schedule as migrate_txn.
+  MigrationTxnReport swap_txn(core::VmHandle vm_a, core::VmHandle vm_b,
+                              const core::MigrationOptions& options = {},
+                              const TxnPolicy& policy = {});
+
   /// Predicts which physical switches a migration would update, from the
   /// SM's master tables, without executing anything. In kDeterministic mode
   /// this is the changed-entries set; in kMinimal mode the §VI-D skyline
   /// set (one leaf for an intra-leaf move).
   std::vector<routing::SwitchIdx> predict_update_set(
       core::VmHandle vm, std::size_t dst_hypervisor,
+      core::ReconfigMode mode = core::ReconfigMode::kDeterministic) const;
+
+  /// Predicted update set of a destination swap between two live VMs: the
+  /// switches where the two VM LIDs' entries differ (identical for both
+  /// LIDs — the swap is symmetric), or the union of the two per-LID
+  /// skyline sets in kMinimal mode.
+  std::vector<routing::SwitchIdx> predict_swap_update_set(
+      core::VmHandle vm_a, core::VmHandle vm_b,
       core::ReconfigMode mode = core::ReconfigMode::kDeterministic) const;
 
   /// Greedy grouping of requests into rounds with pairwise-disjoint
@@ -210,8 +227,10 @@ class CloudOrchestrator {
   [[nodiscard]] std::uint64_t uplink_congestion(std::size_t h) const;
 
   /// Migration-destination scoring: hypervisors with a free VF (excluding
-  /// the VM's current one), ranked by uplink congestion ascending, ties by
-  /// index. Front is the best destination under the attached map.
+  /// the VM's current one), ranked by uplink congestion ascending, ties
+  /// broken by PF NodeId then index — a total order, so equal-score plans
+  /// are byte-identical across platforms and thread counts. Front is the
+  /// best destination under the attached map.
   [[nodiscard]] std::vector<std::pair<std::size_t, std::uint64_t>>
   rank_destinations(core::VmHandle vm) const;
 

@@ -50,8 +50,16 @@ struct MigrationTxn {
   std::size_t src_vf_index = 0;
   std::size_t dst_vf_index = 0;
   Lid vm_lid;
-  Lid swapped_lid;  ///< prepopulated only
+  /// The second LID of the transaction: the destination VF's prepopulated
+  /// LID for a plain migration, or the peer VM's LID for a swap.
+  Lid swapped_lid;
   Guid vguid;
+  /// Destination-swap pair (begin_swap): the transaction moves *two* live
+  /// VMs, trading their slots with one fused LFT delta set. src_* then
+  /// describes `vm`'s slot and dst_* the peer's.
+  bool is_swap = false;
+  VmHandle peer_vm;
+  Guid peer_vguid;
   MigrationOptions options;
   bool addresses_moved = false;
   bool intra_leaf = false;

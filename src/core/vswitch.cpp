@@ -83,9 +83,24 @@ VSwitchFabric::VSwitchFabric(sm::SubnetManager& sm,
       scheme_(scheme) {
   IBVS_REQUIRE(!hypervisors_.empty(), "at least one hypervisor required");
   slots_.resize(hypervisors_.size());
+  free_slots_.resize(hypervisors_.size());
   for (std::size_t h = 0; h < hypervisors_.size(); ++h) {
     slots_[h].resize(hypervisors_[h].vfs.size());
+    for (std::size_t i = 0; i < slots_[h].size(); ++i) {
+      free_slots_[h].insert(i);
+    }
   }
+}
+
+void VSwitchFabric::mark_slot_used(std::size_t hypervisor, std::size_t vf,
+                                   std::uint32_t vm_id) {
+  slots_[hypervisor][vf].vm = vm_id;
+  free_slots_[hypervisor].erase(vf);
+}
+
+void VSwitchFabric::mark_slot_free(std::size_t hypervisor, std::size_t vf) {
+  slots_[hypervisor][vf].vm = 0;
+  free_slots_[hypervisor].insert(vf);
 }
 
 sm::SweepReport VSwitchFabric::boot() {
@@ -125,11 +140,14 @@ Lid VSwitchFabric::pf_lid(std::size_t hypervisor) const {
 std::optional<std::size_t> VSwitchFabric::free_vf_on(
     std::size_t hypervisor) const {
   IBVS_REQUIRE(hypervisor < hypervisors_.size(), "hypervisor out of range");
-  const auto& slots = slots_[hypervisor];
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i].vm == 0) return i;
-  }
-  return std::nullopt;
+  const auto& free = free_slots_[hypervisor];
+  if (free.empty()) return std::nullopt;
+  return *free.begin();
+}
+
+std::size_t VSwitchFabric::free_vf_count(std::size_t hypervisor) const {
+  IBVS_REQUIRE(hypervisor < hypervisors_.size(), "hypervisor out of range");
+  return free_slots_[hypervisor].size();
 }
 
 std::optional<std::size_t> VSwitchFabric::find_free_hypervisor(
@@ -199,7 +217,7 @@ CreateReport VSwitchFabric::create_vm(std::optional<std::size_t> hypervisor) {
   }
   sm_->refresh_targets();
 
-  slots_[h][*vf_idx].vm = vm.id;
+  mark_slot_used(h, *vf_idx, vm.id);
   report.vm = VmHandle{vm.id};
   report.lid = vm.lid;
   vms_.emplace(vm.id, vm);
@@ -223,7 +241,7 @@ void VSwitchFabric::destroy_vm(VmHandle handle) {
                                        kInvalidLid);
     sm_->refresh_targets();
   }
-  slots_[vm.hypervisor][vm.vf_index].vm = 0;
+  mark_slot_free(vm.hypervisor, vm.vf_index);
   vms_.erase(handle.id);
 }
 
@@ -294,6 +312,68 @@ MigrationTxn VSwitchFabric::begin_migration(VmHandle handle,
   return txn;
 }
 
+MigrationTxn VSwitchFabric::begin_swap(VmHandle vm_a, VmHandle vm_b,
+                                       const MigrationOptions& options) {
+  if (!booted_) {
+    throw MigrationError(MigrationErrc::kNotBooted, "boot() first");
+  }
+  const auto it_a = vms_.find(vm_a.id);
+  if (it_a == vms_.end()) {
+    throw MigrationError(MigrationErrc::kUnknownVm,
+                         "vm " + std::to_string(vm_a.id));
+  }
+  const auto it_b = vms_.find(vm_b.id);
+  if (it_b == vms_.end()) {
+    throw MigrationError(MigrationErrc::kUnknownVm,
+                         "vm " + std::to_string(vm_b.id));
+  }
+  const Vm& a = it_a->second;
+  const Vm& b = it_b->second;
+  if (a.hypervisor == b.hypervisor) {
+    throw MigrationError(MigrationErrc::kSameHypervisor,
+                         "swap peers share hypervisor " +
+                             std::to_string(a.hypervisor));
+  }
+
+  const VirtualHca& src = hypervisors_[a.hypervisor];
+  const VirtualHca& dst = hypervisors_[b.hypervisor];
+  MigrationTxn txn;
+  txn.vm = vm_a;
+  txn.is_swap = true;
+  txn.peer_vm = vm_b;
+  txn.peer_vguid = b.vguid;
+  txn.src_hypervisor = a.hypervisor;
+  txn.dst_hypervisor = b.hypervisor;
+  txn.src_vf_index = a.vf_index;
+  txn.dst_vf_index = b.vf_index;
+  txn.vm_lid = a.lid;
+  txn.swapped_lid = b.lid;  // the peer's LID swaps back, both schemes
+  txn.vguid = a.vguid;
+  txn.options = options;
+  txn.intra_leaf = src.leaf == dst.leaf;
+
+  sm::MigrationRecord record;
+  record.vm_id = a.id;
+  record.vm_lid = a.lid;
+  record.swapped_lid = b.lid;
+  record.vguid = a.vguid;
+  record.swap_pair = true;
+  record.peer_vm_id = b.id;
+  record.peer_vguid = b.vguid;
+  record.src_vf = src.vfs[a.vf_index];
+  record.dst_vf = dst.vfs[b.vf_index];
+  record.src_pf = src.pf;
+  record.dst_pf = dst.pf;
+  record.src_vf_slot = static_cast<PortNum>(a.vf_index);
+  record.dst_vf_slot = static_cast<PortNum>(b.vf_index);
+  record.src_hypervisor = a.hypervisor;
+  record.dst_hypervisor = b.hypervisor;
+  record.src_vf_index = a.vf_index;
+  record.dst_vf_index = b.vf_index;
+  txn.id = journal_.begin(std::move(record));
+  return txn;
+}
+
 void VSwitchFabric::txn_move_addresses(MigrationTxn& txn) {
   IBVS_REQUIRE(!txn.terminal() && !txn.addresses_moved,
                "addresses move at most once, before a terminal state");
@@ -307,6 +387,13 @@ void VSwitchFabric::txn_move_addresses(MigrationTxn& txn) {
                          "hypervisor " + std::to_string(txn.dst_hypervisor) +
                              " is physically detached");
   }
+  if (txn.is_swap && !fabric.physical_attachment(src.pf)) {
+    // A swap programs *both* PFs; the source losing attachment is just as
+    // fatal as the destination.
+    throw MigrationError(MigrationErrc::kDestinationDetached,
+                         "hypervisor " + std::to_string(txn.src_hypervisor) +
+                             " is physically detached");
+  }
   const NodeId vf_src = src.vfs[txn.src_vf_index];
   const NodeId vf_dst = dst.vfs[txn.dst_vf_index];
 
@@ -315,21 +402,43 @@ void VSwitchFabric::txn_move_addresses(MigrationTxn& txn) {
   journal_.record_addresses_moved(txn.id);
 
   // ---- Step (a): migrate the IB addresses (§V-C a). One SMP per
-  // participating hypervisor for the LID, one for the vGUID. ----
-  transport.send_vf_lid_assign(src.pf, static_cast<PortNum>(txn.src_vf_index),
-                               kInvalidLid, txn.options.smp_routing);
-  transport.send_vf_lid_assign(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
-                               txn.vm_lid, txn.options.smp_routing);
-  txn.stats.hypervisor_lid_smps = 2;
-  fabric.node(vf_src).alias_guid = kInvalidGuid;
-  fabric.node(vf_dst).alias_guid = txn.vguid;
-  transport.send_guid_info(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
-                           txn.vguid, txn.options.smp_routing);
-  txn.stats.guid_smps = 1;
+  // participating hypervisor for the LID, one per vGUID landing. ----
+  if (txn.is_swap) {
+    // Both VFs stay populated: each side takes the peer's LID and vGUID.
+    // This is why a swap needs no free VF anywhere.
+    transport.send_vf_lid_assign(src.pf,
+                                 static_cast<PortNum>(txn.src_vf_index),
+                                 txn.swapped_lid, txn.options.smp_routing);
+    transport.send_vf_lid_assign(dst.pf,
+                                 static_cast<PortNum>(txn.dst_vf_index),
+                                 txn.vm_lid, txn.options.smp_routing);
+    txn.stats.hypervisor_lid_smps = 2;
+    fabric.node(vf_src).alias_guid = txn.peer_vguid;
+    fabric.node(vf_dst).alias_guid = txn.vguid;
+    transport.send_guid_info(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
+                             txn.vguid, txn.options.smp_routing);
+    transport.send_guid_info(src.pf, static_cast<PortNum>(txn.src_vf_index),
+                             txn.peer_vguid, txn.options.smp_routing);
+    txn.stats.guid_smps = 2;
+  } else {
+    transport.send_vf_lid_assign(src.pf,
+                                 static_cast<PortNum>(txn.src_vf_index),
+                                 kInvalidLid, txn.options.smp_routing);
+    transport.send_vf_lid_assign(dst.pf,
+                                 static_cast<PortNum>(txn.dst_vf_index),
+                                 txn.vm_lid, txn.options.smp_routing);
+    txn.stats.hypervisor_lid_smps = 2;
+    fabric.node(vf_src).alias_guid = kInvalidGuid;
+    fabric.node(vf_dst).alias_guid = txn.vguid;
+    transport.send_guid_info(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
+                             txn.vguid, txn.options.smp_routing);
+    txn.stats.guid_smps = 1;
+  }
 
-  if (scheme_ == LidScheme::kPrepopulated) {
+  if (txn.swapped_lid.valid()) {
     // Swap the two LIDs' owners; the VM keeps vm_lid at the destination,
-    // the destination VF's old LID moves to the vacated source VF.
+    // the second LID (destination VF's or the peer VM's) moves to the
+    // vacated source VF.
     sm_->lids().move(fabric, txn.vm_lid, vf_dst, 1);
     sm_->lids().move(fabric, txn.swapped_lid, vf_src, 1);
   } else {
@@ -354,12 +463,18 @@ void VSwitchFabric::txn_apply_lfts(MigrationTxn& txn,
   const std::size_t s_count = routing.graph.num_switches();
   txn.stats.switches_total = s_count;
 
-  // Plan the new entries.
+  // Plan the new entries. Two LIDs participate whenever swapped_lid is
+  // valid: a prepopulated migration (the destination VF's LID swaps back)
+  // or a destination swap in either scheme (the peer VM's LID). The fused
+  // delta set lets each switch push its dirty blocks once for both LIDs —
+  // 1 SMP when they share a 64-entry block — which is the entire SMP
+  // advantage of a swap over two copies.
+  const bool use_swap = swapped_lid.valid();
   last_delta_ = EntryDelta{};
   last_delta_.old_entry.resize(s_count);
   last_delta_.new_entry.resize(s_count);
-  EntryDelta swap_delta;  // for the swapped LID, prepopulated only
-  if (scheme_ == LidScheme::kPrepopulated) {
+  EntryDelta swap_delta;  // for the swapped LID
+  if (use_swap) {
     swap_delta.old_entry.resize(s_count);
     swap_delta.new_entry.resize(s_count);
   }
@@ -367,9 +482,9 @@ void VSwitchFabric::txn_apply_lfts(MigrationTxn& txn,
   for (routing::SwitchIdx s = 0; s < s_count; ++s) {
     const PortNum p_vm = routing.lfts[s].get(vm_lid);
     last_delta_.old_entry[s] = p_vm;
-    if (scheme_ == LidScheme::kPrepopulated) {
-      // Swap: the VM LID takes the destination VF LID's path and vice
-      // versa, preserving the balancing of the initial routing.
+    if (use_swap) {
+      // Swap: the VM LID takes the second LID's path and vice versa,
+      // preserving the balancing of the initial routing.
       const PortNum p_vf = routing.lfts[s].get(swapped_lid);
       last_delta_.new_entry[s] = p_vf;
       swap_delta.old_entry[s] = p_vf;
@@ -391,7 +506,7 @@ void VSwitchFabric::txn_apply_lfts(MigrationTxn& txn,
       routing.graph, last_delta_, routing.graph.dense(vm_attach->first),
       vm_attach->second);
   std::vector<routing::SwitchIdx> minimal_vf;
-  if (scheme_ == LidScheme::kPrepopulated) {
+  if (use_swap) {
     const auto vf_attach = sm_->lids().attachment(fabric, swapped_lid);
     IBVS_ENSURE(vf_attach.has_value(), "swapped VF LID is not attached");
     minimal_vf = minimal_update_set(
@@ -417,7 +532,7 @@ void VSwitchFabric::txn_apply_lfts(MigrationTxn& txn,
         vm_set.push_back(s);
       }
     }
-    if (scheme_ == LidScheme::kPrepopulated) vf_set = vm_set;
+    if (use_swap) vf_set = vm_set;
   }
   std::vector<routing::SwitchIdx> update_set;
   std::set_union(vm_set.begin(), vm_set.end(), vf_set.begin(), vf_set.end(),
@@ -511,9 +626,7 @@ void VSwitchFabric::txn_apply_lfts(MigrationTxn& txn,
   sm_->bump_generation();
 
   auto& metrics = VSwitchMetrics::get();
-  (scheme_ == LidScheme::kPrepopulated ? metrics.reconfig_swap
-                                       : metrics.reconfig_copy)
-      .inc();
+  (use_swap ? metrics.reconfig_swap : metrics.reconfig_copy).inc();
   metrics.switches_updated.inc(txn.stats.switches_updated);
   metrics.switches_skipped.inc(txn.stats.switches_total -
                                txn.stats.switches_updated);
@@ -555,7 +668,8 @@ void VSwitchFabric::txn_rollback(MigrationTxn& txn) {
       sm_->lids().move(fabric, txn.swapped_lid, vf_dst, 1);
     }
     fabric.node(vf_src).alias_guid = txn.vguid;
-    fabric.node(vf_dst).alias_guid = kInvalidGuid;
+    fabric.node(vf_dst).alias_guid =
+        txn.is_swap ? txn.peer_vguid : kInvalidGuid;
     transport.begin_batch();
     transport.send_vf_lid_assign(src.pf,
                                  static_cast<PortNum>(txn.src_vf_index),
@@ -567,6 +681,12 @@ void VSwitchFabric::txn_rollback(MigrationTxn& txn) {
     transport.send_guid_info(src.pf, static_cast<PortNum>(txn.src_vf_index),
                              txn.vguid, txn.options.smp_routing);
     txn.rollback_smps += 3;
+    if (txn.is_swap) {
+      // The peer's vGUID moved too; restore it to the destination VF.
+      transport.send_guid_info(dst.pf, static_cast<PortNum>(txn.dst_vf_index),
+                               txn.peer_vguid, txn.options.smp_routing);
+      txn.rollback_smps += 1;
+    }
     txn.rollback_time_us += transport.end_batch();
     sm_->refresh_targets();
     txn.addresses_moved = false;
@@ -589,8 +709,17 @@ void VSwitchFabric::txn_commit(MigrationTxn& txn) {
                    txn.state == TxnState::kAttached,
                "commit follows reconfiguration");
   Vm& vm = vm_mutable(txn.vm);
-  slots_[txn.src_hypervisor][txn.src_vf_index].vm = 0;
-  slots_[txn.dst_hypervisor][txn.dst_vf_index].vm = vm.id;
+  if (txn.is_swap) {
+    // Both slots stay occupied — the VMs trade places.
+    Vm& peer = vm_mutable(txn.peer_vm);
+    mark_slot_used(txn.src_hypervisor, txn.src_vf_index, peer.id);
+    mark_slot_used(txn.dst_hypervisor, txn.dst_vf_index, vm.id);
+    peer.hypervisor = txn.src_hypervisor;
+    peer.vf_index = txn.src_vf_index;
+  } else {
+    mark_slot_free(txn.src_hypervisor, txn.src_vf_index);
+    mark_slot_used(txn.dst_hypervisor, txn.dst_vf_index, vm.id);
+  }
   vm.hypervisor = txn.dst_hypervisor;
   vm.vf_index = txn.dst_vf_index;
   journal_.commit(txn.id);
@@ -610,8 +739,18 @@ VSwitchFabric::ReconcileReport VSwitchFabric::reconcile_with_journal() {
       if (r.state == sm::RecordState::kCommitted &&
           (vm.hypervisor != r.dst_hypervisor ||
            vm.vf_index != r.dst_vf_index)) {
-        slots_[r.src_hypervisor][r.src_vf_index].vm = 0;
-        slots_[r.dst_hypervisor][r.dst_vf_index].vm = vm.id;
+        if (r.swap_pair) {
+          const auto peer_it = vms_.find(r.peer_vm_id);
+          if (peer_it != vms_.end()) {
+            Vm& peer = peer_it->second;
+            mark_slot_used(r.src_hypervisor, r.src_vf_index, peer.id);
+            peer.hypervisor = r.src_hypervisor;
+            peer.vf_index = r.src_vf_index;
+          }
+        } else {
+          mark_slot_free(r.src_hypervisor, r.src_vf_index);
+        }
+        mark_slot_used(r.dst_hypervisor, r.dst_vf_index, vm.id);
         vm.hypervisor = r.dst_hypervisor;
         vm.vf_index = r.dst_vf_index;
       }
@@ -682,6 +821,40 @@ MigrationReport VSwitchFabric::migrate_vm(VmHandle handle,
   return report;
 }
 
+MigrationReport VSwitchFabric::swap_vms(VmHandle vm_a, VmHandle vm_b,
+                                        const MigrationOptions& options) {
+  MigrationTxn txn = begin_swap(vm_a, vm_b, options);
+  auto span = telemetry::Tracer::global().span(
+      "vswitch.swap", {{"scheme", to_string(scheme_)}});
+  try {
+    txn_move_addresses(txn);
+    txn_apply_lfts(txn);
+  } catch (...) {
+    txn_rollback(txn);
+    throw;
+  }
+  txn_commit(txn);
+
+  MigrationReport report;
+  report.vm = vm_a.id;
+  report.src_hypervisor = txn.src_hypervisor;
+  report.dst_hypervisor = txn.dst_hypervisor;
+  report.vm_lid = txn.vm_lid;
+  report.swapped_lid = txn.swapped_lid;
+  report.intra_leaf = txn.intra_leaf;
+  report.reconfig = txn.stats;
+  report.minimal_set_size = txn.minimal_set_size;
+  span.set_attr("switches_updated",
+                std::to_string(report.reconfig.switches_updated));
+  span.set_attr("lft_smps", std::to_string(report.reconfig.lft_smps));
+
+  IBVS_DEBUG("vswitch") << "swapped vm " << vm_a.id << " (hyp "
+                        << report.src_hypervisor << ") with vm " << vm_b.id
+                        << " (hyp " << report.dst_hypervisor << "): "
+                        << report.reconfig.lft_smps << " LFT SMPs fused";
+  return report;
+}
+
 VSwitchFabric::HotAddReport VSwitchFabric::add_hypervisor(
     const topology::HostSlot& slot, std::size_t num_vfs,
     std::string_view name) {
@@ -691,6 +864,8 @@ VSwitchFabric::HotAddReport VSwitchFabric::add_hypervisor(
   hypervisors_.push_back(
       attach_hypervisor(sm_->fabric(), slot, num_vfs, name));
   slots_.emplace_back(num_vfs);
+  free_slots_.emplace_back();
+  for (std::size_t i = 0; i < num_vfs; ++i) free_slots_.back().insert(i);
   sm_->transport().invalidate_topology();
 
   // Address the newcomer: PF always; all VFs too under prepopulation.

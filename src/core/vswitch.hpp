@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -144,6 +145,15 @@ class VSwitchFabric {
   MigrationReport migrate_vm(VmHandle vm, std::size_t dst_hypervisor,
                              const MigrationOptions& options = {});
 
+  /// Destination swap: two live VMs trade slots in ONE fused transaction.
+  /// Needs no free VF on either side (the move a full cloud cannot express
+  /// as copies), and both schemes reconfigure by the symmetric entry swap —
+  /// each switch pushes its dirty blocks once for both LIDs, so a swap
+  /// costs at most the larger of the two copies instead of their sum.
+  /// Happy-path composition of begin_swap + the shared txn phases.
+  MigrationReport swap_vms(VmHandle vm_a, VmHandle vm_b,
+                           const MigrationOptions& options = {});
+
   // --- Transactional migration phases (see core/migration_txn.hpp). ---
   // The orchestrator (or the chaos harness) drives these individually to
   // get abort points, typed failures and rollback; migrate_vm() is the
@@ -154,6 +164,12 @@ class VSwitchFabric {
   /// opens the write-ahead journal record. Sends nothing.
   MigrationTxn begin_migration(VmHandle vm, std::size_t dst_hypervisor,
                                const MigrationOptions& options = {});
+
+  /// Opens a destination-swap transaction: vm_a's slot becomes src_*,
+  /// vm_b's becomes dst_*, and the journal record carries the pair so a
+  /// recovering SM restores *both* VMs' addresses. Sends nothing.
+  MigrationTxn begin_swap(VmHandle vm_a, VmHandle vm_b,
+                          const MigrationOptions& options = {});
 
   /// §V-C step (a): moves the VM's LID and vGUID to the destination VF
   /// (swap for prepopulated). Throws kDestinationDetached — before sending
@@ -236,8 +252,12 @@ class VSwitchFabric {
   /// First hypervisor (other than `exclude`) with a free VF slot.
   [[nodiscard]] std::optional<std::size_t> find_free_hypervisor(
       std::optional<std::size_t> exclude = {}) const;
+  /// Lowest free VF slot on `hypervisor` — O(log vfs) via the per-host
+  /// free-list, so fleet-scale planners can probe capacity without a scan.
   [[nodiscard]] std::optional<std::size_t> free_vf_on(
       std::size_t hypervisor) const;
+  /// Free VF slots on `hypervisor`, O(1).
+  [[nodiscard]] std::size_t free_vf_count(std::size_t hypervisor) const;
 
   /// The EntryDelta of the last migration (for skyline analysis in tests).
   [[nodiscard]] const EntryDelta& last_delta() const noexcept {
@@ -251,12 +271,19 @@ class VSwitchFabric {
 
   Lid pf_lid(std::size_t hypervisor) const;
   Vm& vm_mutable(VmHandle handle);
+  /// Keep slots_ and the per-hypervisor free-lists in lockstep.
+  void mark_slot_used(std::size_t hypervisor, std::size_t vf,
+                      std::uint32_t vm_id);
+  void mark_slot_free(std::size_t hypervisor, std::size_t vf);
 
   sm::SubnetManager* sm_;  ///< reseatable: adopt_subnet_manager on failover
   Fabric* fabric_;         ///< the subnet itself, stable across SM failovers
   std::vector<VirtualHca> hypervisors_;
   LidScheme scheme_;
   std::vector<std::vector<Slot>> slots_;  ///< [hypervisor][vf]
+  /// Free VF slot indices per hypervisor, ordered — free_vf_on() keeps the
+  /// historical lowest-index-first semantics without the linear scan.
+  std::vector<std::set<std::size_t>> free_slots_;
   std::unordered_map<std::uint32_t, Vm> vms_;
   std::uint32_t next_vm_id_ = 1;
   bool booted_ = false;

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "cloud/planner.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/expect.hpp"
@@ -171,6 +172,13 @@ std::string to_string(const ChaosReport& report) {
        << e.timeouts << std::setw(12) << std::fixed << std::setprecision(1)
        << e.time_us << std::setw(6) << e.violations << "\n";
   }
+  if (report.evacuation_moves + report.evacuation_batches > 0) {
+    os << "evacuation: hyp" << report.evacuation_hypervisor << " moves="
+       << report.evacuation_moves << " swaps=" << report.evacuation_swaps
+       << " batches=" << report.evacuation_batches
+       << " replans=" << report.evacuation_replans
+       << " complete=" << (report.evacuation_complete ? "yes" : "no") << "\n";
+  }
   os << "totals: smps=" << report.reconverge_smps
      << " retries=" << report.reconverge_retries
      << " timeouts=" << report.reconverge_timeouts
@@ -186,8 +194,203 @@ std::string to_string(const ChaosReport& report) {
   return os.str();
 }
 
+namespace {
+
+/// The kEvacuation scenario: drain one hypervisor through the fleet
+/// planner while a switch dies mid-plan. Every batch boundary reconverges
+/// and checker-verifies; the digest folds the same (kind, detail, smps,
+/// violations) stream as the steady-state harness, so two same-seed runs
+/// must agree bit for bit.
+ChaosReport run_evacuation_chaos(cloud::CloudOrchestrator& cloud,
+                                 FaultInjector& injector,
+                                 const ChaosConfig& config) {
+  core::VSwitchFabric& vsf = cloud.fabric();
+  sm::SubnetManager& sm = vsf.subnet_manager();
+  Fabric& fabric = sm.fabric();
+  IBVS_REQUIRE(sm.has_routing(), "boot the fabric before running chaos");
+
+  auto span = telemetry::Tracer::global().span(
+      "chaos.evacuation", {{"seed", std::to_string(config.seed)}});
+
+  fabric::SmpTransport& transport = sm.transport();
+  injector.attach_transport(&transport);
+  fabric::LinkFaultModel* const previous_model = transport.fault_model();
+  transport.set_fault_model(&injector);
+  injector.set_global_fault(config.mad_faults);
+
+  SplitMix64 rng(config.seed);
+  const FabricChecker checker(sm, config.checker);
+  const NodeId sm_node = transport.sm_node();
+
+  ChaosReport report;
+  report.seed = config.seed;
+  report.digest = kFnvOffset;
+
+  // The host to drain: config override, else the fullest one (lowest index
+  // on ties — the loop only replaces on strictly-more VMs).
+  const auto& hyps = vsf.hypervisors();
+  std::size_t target = config.evacuate_hypervisor;
+  if (target >= hyps.size()) {
+    std::size_t most_used = 0;
+    target = 0;
+    for (std::size_t h = 0; h < hyps.size(); ++h) {
+      const std::size_t used = hyps[h].vfs.size() - vsf.free_vf_count(h);
+      if (used > most_used) {
+        most_used = used;
+        target = h;
+      }
+    }
+  }
+  report.evacuation_hypervisor = target;
+
+  const auto recover_and_check = [&](ChaosEvent event) {
+    const SmpCounters before = transport.counters();
+    const auto recovery = sm.reconverge(config.max_reconverge_rounds);
+    const SmpCounters after = transport.counters();
+    event.rounds = recovery.rounds;
+    event.smps = recovery.smps;
+    event.time_us = recovery.time_us;
+    event.retries = after.retries - before.retries;
+    event.timeouts = after.timeouts - before.timeouts;
+    report.undeliverable += after.undeliverable - before.undeliverable;
+    if (!recovery.converged) report.all_converged = false;
+    const CheckReport checked = checker.check(&vsf);
+    event.violations = checked.violations.size();
+    report.reconverge_rounds += event.rounds;
+    report.reconverge_smps += event.smps;
+    report.reconverge_retries += event.retries;
+    report.reconverge_timeouts += event.timeouts;
+    report.reconverge_time_us += event.time_us;
+    report.checker_violations += event.violations;
+    ChaosMetrics::get().violations.inc(event.violations);
+    ChaosMetrics::get().recovery_smps.inc(event.smps);
+    fold(report.digest, event.kind);
+    fold(report.digest, event.detail);
+    fold(report.digest, event.smps);
+    fold(report.digest, static_cast<std::uint64_t>(event.violations));
+    ++report.steps;
+    report.events.push_back(std::move(event));
+  };
+
+  cloud::MigrationPlanner::Options planner_options;
+  planner_options.mode = core::ReconfigMode::kMinimal;
+  cloud::MigrationPlanner planner(cloud, planner_options);
+  cloud::FleetGoal goal;
+  goal.kind = cloud::FleetGoalKind::kEvacuateHypervisor;
+  goal.hypervisor = target;
+  const auto plan = planner.plan(goal);
+
+  {
+    // Planning sends nothing, but the plan shape is part of the digest.
+    ChaosEvent event;
+    event.kind = "plan";
+    event.detail = "hyp" + std::to_string(target) + ": " +
+                   std::to_string(plan.total_moves()) + " moves in " +
+                   std::to_string(plan.batches.size()) + " batches";
+    fold(report.digest, event.kind);
+    fold(report.digest, event.detail);
+    ++report.steps;
+    report.events.push_back(std::move(event));
+  }
+
+  // One seeded draw decides which batch the switch dies in front of; the
+  // victim itself is drawn when the moment arrives, against live state.
+  const std::size_t kill_before =
+      config.kill_switch_mid_plan && !plan.batches.empty()
+          ? rng.below(plan.batches.size())
+          : static_cast<std::size_t>(-1);
+  NodeId killed = kInvalidNode;
+
+  cloud::ExecutorPolicy policy;
+  policy.txn.backoff_base_s = 0.0;  // simulated clock only
+  policy.on_batch_start = [&](std::size_t index,
+                              const cloud::MigrationBatch&) {
+    if (index != kill_before || killed != kInvalidNode) return;
+    std::vector<NodeId> candidates;
+    for (NodeId id = 0; id < fabric.size(); ++id) {
+      if (!fabric.node(id).is_physical_switch()) continue;
+      if (injector.is_dead(id)) continue;
+      if (!safe_to_remove(fabric, sm_node, nullptr, id)) continue;
+      candidates.push_back(id);
+    }
+    if (candidates.empty()) return;
+    killed = candidates[rng.below(candidates.size())];
+    ChaosEvent event;
+    event.kind = "switch_kill";
+    event.detail =
+        fabric.node(killed).name + " before batch " + std::to_string(index);
+    injector.kill_node(killed);
+    ++report.structural_events;
+    recover_and_check(std::move(event));
+  };
+  policy.on_batch_end = [&](std::size_t index, const cloud::MigrationBatch&,
+                            const cloud::BatchExecution& be) {
+    ++report.evacuation_batches;
+    report.migration_commits += be.committed;
+    report.migration_rollbacks += be.rolled_back;
+    report.migrations += be.committed + be.rolled_back + be.failed;
+    ChaosEvent event;
+    event.kind = "batch";
+    event.detail = "b" + std::to_string(index) + ": " +
+                   std::to_string(be.committed) + " committed, " +
+                   std::to_string(be.rolled_back) + " rolled back, " +
+                   std::to_string(be.skipped) + " skipped";
+    recover_and_check(std::move(event));
+  };
+
+  cloud::PlanExecutor executor(cloud);
+  // Execute in the mode the planner predicted with.
+  const core::MigrationOptions move_options{
+      .mode = core::ReconfigMode::kMinimal};
+  const auto exec = executor.execute(planner, plan, move_options, policy);
+  report.evacuation_moves += exec.committed;
+  report.evacuation_swaps += exec.swaps_committed;
+  report.evacuation_replans += exec.replans;
+
+  if (killed != kInvalidNode) {
+    ChaosEvent event;
+    event.kind = "switch_revive";
+    event.detail = fabric.node(killed).name;
+    injector.revive_node(killed);
+    ++report.structural_events;
+    recover_and_check(std::move(event));
+  }
+
+  // The dead switch may have stranded VMs on the target host; with every
+  // switch back, one more planned pass must finish the drain.
+  const auto residual = [&]() {
+    std::size_t n = 0;
+    for (const std::uint32_t id : vsf.active_vm_ids()) {
+      if (vsf.vm({id}).hypervisor == target) ++n;
+    }
+    return n;
+  };
+  if (residual() > 0) {
+    const auto retry_plan = planner.plan(goal);
+    const auto retry =
+        executor.execute(planner, retry_plan, move_options, policy);
+    report.evacuation_moves += retry.committed;
+    report.evacuation_swaps += retry.swaps_committed;
+    report.evacuation_replans += retry.replans;
+  }
+  report.evacuation_complete = residual() == 0;
+  fold(report.digest, std::string_view(report.evacuation_complete
+                                           ? "complete"
+                                           : "incomplete"));
+
+  transport.set_fault_model(previous_model);
+  span.set_attr("moves", std::to_string(report.evacuation_moves));
+  span.set_attr("violations", std::to_string(report.checker_violations));
+  return report;
+}
+
+}  // namespace
+
 ChaosReport run_chaos(cloud::CloudOrchestrator& cloud,
                       FaultInjector& injector, const ChaosConfig& config) {
+  if (config.scenario == ChaosScenario::kEvacuation) {
+    return run_evacuation_chaos(cloud, injector, config);
+  }
   core::VSwitchFabric& vsf = cloud.fabric();
   sm::SubnetManager& sm = vsf.subnet_manager();
   Fabric& fabric = sm.fabric();

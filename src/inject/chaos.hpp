@@ -31,9 +31,28 @@
 
 namespace ibvs::inject {
 
+enum class ChaosScenario {
+  /// The original harness: a seeded stream of independent fault/migration
+  /// events against a quiescent cloud.
+  kSteadyState,
+  /// Fleet evacuation under fire: a MigrationPlanner drains one hypervisor
+  /// batch by batch while the harness kills a safe-to-remove switch
+  /// mid-plan; every batch boundary reconverges and checker-verifies, and
+  /// the run only counts as complete when the host is empty afterwards.
+  kEvacuation,
+};
+
 struct ChaosConfig {
   std::uint64_t seed = 1;
   std::size_t steps = 32;
+
+  ChaosScenario scenario = ChaosScenario::kSteadyState;
+  /// kEvacuation: the hypervisor to drain. npos auto-picks the host with
+  /// the most VMs (ties to the lowest index).
+  std::size_t evacuate_hypervisor = static_cast<std::size_t>(-1);
+  /// kEvacuation: kill one (safety-filtered) switch right before a seeded
+  /// batch of the plan, and revive it once the plan ran.
+  bool kill_switch_mid_plan = true;
 
   // Relative event weights (0 disables the kind).
   unsigned weight_link_cut = 3;
@@ -92,6 +111,13 @@ struct ChaosReport {
   double reconverge_time_us = 0.0;  ///< simulated, deterministic
   std::size_t checker_violations = 0;
   bool all_converged = true;  ///< every recovery hit a zero-send round
+  // kEvacuation only (all zero/true-by-default in steady state).
+  std::size_t evacuation_hypervisor = 0;
+  std::size_t evacuation_moves = 0;    ///< committed planner moves
+  std::size_t evacuation_swaps = 0;    ///< ...of which destination swaps
+  std::size_t evacuation_batches = 0;  ///< batches executed (replans incl.)
+  std::size_t evacuation_replans = 0;
+  bool evacuation_complete = true;  ///< the drained host ended empty
   /// FNV-1a over the event stream (kind, detail, smps, violations): two
   /// runs with the same seed must produce the same digest.
   std::uint64_t digest = 0;

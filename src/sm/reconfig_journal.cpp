@@ -150,7 +150,8 @@ RecoveryReport ReconfigJournal::recover(SubnetManager& sm,
         sm.lids().move(fabric, r.swapped_lid, r.src_vf, 1);
       }
       fabric.node(r.dst_vf).alias_guid = r.vguid;
-      fabric.node(r.src_vf).alias_guid = kInvalidGuid;
+      fabric.node(r.src_vf).alias_guid =
+          r.swap_pair ? r.peer_vguid : kInvalidGuid;
       for (const LftDelta& d : r.deltas) {
         const routing::SwitchIdx s = graph.dense(d.switch_node);
         if (s == routing::kNoSwitch) continue;
@@ -177,9 +178,11 @@ RecoveryReport ReconfigJournal::recover(SubnetManager& sm,
           sm.lids().move(fabric, r.swapped_lid, r.dst_vf, 1);
         }
         fabric.node(r.src_vf).alias_guid = r.vguid;
-        fabric.node(r.dst_vf).alias_guid = kInvalidGuid;
+        fabric.node(r.dst_vf).alias_guid =
+            r.swap_pair ? r.peer_vguid : kInvalidGuid;
         // Re-attach the VF addresses at the source: the reverse of §V-C
-        // step (a), priced on the batch clock like the forward path.
+        // step (a), priced on the batch clock like the forward path. A
+        // swap pair also restores the peer's vGUID at the destination.
         transport.begin_batch();
         transport.send_vf_lid_assign(r.src_pf, r.src_vf_slot, r.vm_lid,
                                      routing);
@@ -188,6 +191,11 @@ RecoveryReport ReconfigJournal::recover(SubnetManager& sm,
             r.swapped_lid.valid() ? r.swapped_lid : kInvalidLid, routing);
         transport.send_guid_info(r.src_pf, r.src_vf_slot, r.vguid, routing);
         report.address_smps += 3;
+        if (r.swap_pair) {
+          transport.send_guid_info(r.dst_pf, r.dst_vf_slot, r.peer_vguid,
+                                   routing);
+          report.address_smps += 1;
+        }
         report.address_time_us += transport.end_batch();
       }
       r.state = RecordState::kRolledBack;

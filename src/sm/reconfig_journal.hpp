@@ -53,8 +53,16 @@ struct MigrationRecord {
   std::uint64_t id = 0;
   std::uint32_t vm_id = 0;
   Lid vm_lid;
-  Lid swapped_lid;  ///< prepopulated only: the destination VF's swapped LID
+  /// The second LID of the record: the destination VF's prepopulated LID
+  /// for a plain migration, or the peer VM's LID when swap_pair is set.
+  Lid swapped_lid;
   Guid vguid;
+  /// Destination-swap pair: two live VMs trading slots in one record. The
+  /// peer's identity rides along so recovery can restore *both* VMs'
+  /// addresses (the dst VF holds peer_vguid, not kInvalidGuid, on undo).
+  bool swap_pair = false;
+  std::uint32_t peer_vm_id = 0;  ///< orchestrator tag
+  Guid peer_vguid = kInvalidGuid;
   NodeId src_vf = kInvalidNode;
   NodeId dst_vf = kInvalidNode;
   NodeId src_pf = kInvalidNode;
