@@ -12,61 +12,80 @@ namespace ibvs::fabric {
 namespace {
 
 /// Registry handles resolved once per process (the de-lookup treatment
-/// TransportMetrics got): the simulator ticks these at end-of-run without
-/// taking the registry mutex, so INT-heavy runs on many threads don't
-/// serialize on family lookup.
+/// TransportMetrics got). Counters are sharded: chaos drives simulators
+/// from pool workers concurrently, and the end-of-run ticks all landing on
+/// the same atomics would bounce the lines between threads. A registry
+/// fold hook drains the cells before any export; the gauges stay plain
+/// (last-writer-wins is their semantics either way).
 struct CreditSimMetrics {
-  telemetry::Counter* injected = nullptr;
-  telemetry::Counter* delivered = nullptr;
-  telemetry::Counter* dropped_timeout = nullptr;
-  telemetry::Counter* dropped_unrouted = nullptr;
-  telemetry::Counter* dropped_faulted = nullptr;
-  telemetry::Counter* deadlocks = nullptr;
+  telemetry::ShardedCounter injected;
+  telemetry::ShardedCounter delivered;
+  telemetry::ShardedCounter dropped_timeout;
+  telemetry::ShardedCounter dropped_unrouted;
+  telemetry::ShardedCounter dropped_faulted;
+  telemetry::ShardedCounter deadlocks;
   telemetry::Gauge* stuck = nullptr;
   telemetry::Gauge* steps = nullptr;
-  telemetry::Counter* int_sampled = nullptr;
-  telemetry::Counter* int_delivered = nullptr;
-  telemetry::Counter* int_truncated = nullptr;
-  telemetry::Counter* int_dropped = nullptr;
-  telemetry::Counter* int_overhead_dwords = nullptr;
+  telemetry::ShardedCounter int_sampled;
+  telemetry::ShardedCounter int_delivered;
+  telemetry::ShardedCounter int_truncated;
+  telemetry::ShardedCounter int_dropped;
+  telemetry::ShardedCounter int_overhead_dwords;
 
-  static const CreditSimMetrics& get() {
-    static const CreditSimMetrics metrics = [] {
-      CreditSimMetrics m;
+  void fold() noexcept {
+    injected.fold();
+    delivered.fold();
+    dropped_timeout.fold();
+    dropped_unrouted.fold();
+    dropped_faulted.fold();
+    deadlocks.fold();
+    int_sampled.fold();
+    int_delivered.fold();
+    int_truncated.fold();
+    int_dropped.fold();
+    int_overhead_dwords.fold();
+  }
+
+  static CreditSimMetrics& get() {
+    static CreditSimMetrics& metrics = []() -> CreditSimMetrics& {
+      static CreditSimMetrics m;
       auto& reg = telemetry::Registry::global();
-      m.injected =
-          &reg.counter("ibvs_creditsim_packets_total",
-                       {{"outcome", "injected"}},
-                       "Credit-simulator packets by final outcome");
-      m.delivered = &reg.counter("ibvs_creditsim_packets_total",
-                                 {{"outcome", "delivered"}});
-      m.dropped_timeout = &reg.counter("ibvs_creditsim_packets_total",
-                                       {{"outcome", "dropped_timeout"}});
-      m.dropped_unrouted = &reg.counter("ibvs_creditsim_packets_total",
-                                        {{"outcome", "dropped_unrouted"}});
-      m.dropped_faulted = &reg.counter("ibvs_creditsim_packets_total",
-                                       {{"outcome", "dropped_faulted"}});
-      m.deadlocks =
-          &reg.counter("ibvs_creditsim_deadlocks_total", {},
-                       "Runs that wedged with timeouts disabled");
+      m.injected.bind(
+          reg.counter("ibvs_creditsim_packets_total",
+                      {{"outcome", "injected"}},
+                      "Credit-simulator packets by final outcome"));
+      m.delivered.bind(reg.counter("ibvs_creditsim_packets_total",
+                                   {{"outcome", "delivered"}}));
+      m.dropped_timeout.bind(reg.counter("ibvs_creditsim_packets_total",
+                                         {{"outcome", "dropped_timeout"}}));
+      m.dropped_unrouted.bind(reg.counter("ibvs_creditsim_packets_total",
+                                          {{"outcome", "dropped_unrouted"}}));
+      m.dropped_faulted.bind(reg.counter("ibvs_creditsim_packets_total",
+                                         {{"outcome", "dropped_faulted"}}));
+      m.deadlocks.bind(
+          reg.counter("ibvs_creditsim_deadlocks_total", {},
+                      "Runs that wedged with timeouts disabled"));
       m.stuck = &reg.gauge(
           "ibvs_creditsim_stuck_packets", {},
           "Packets still in-network when the last run ended (credit stalls)");
       m.steps = &reg.gauge("ibvs_creditsim_last_steps", {},
                            "Steps the last run took to settle");
-      m.int_sampled =
-          &reg.counter("ibvs_int_packets_total", {{"outcome", "sampled"}},
-                       "INT-carrying packets by final stack outcome");
-      m.int_delivered = &reg.counter("ibvs_int_packets_total",
-                                     {{"outcome", "delivered"}});
-      m.int_truncated = &reg.counter("ibvs_int_packets_total",
-                                     {{"outcome", "truncated"}});
-      m.int_dropped =
-          &reg.counter("ibvs_int_packets_total", {{"outcome", "dropped"}});
-      m.int_overhead_dwords = &reg.counter(
+      m.int_sampled.bind(
+          reg.counter("ibvs_int_packets_total", {{"outcome", "sampled"}},
+                      "INT-carrying packets by final stack outcome"));
+      m.int_delivered.bind(reg.counter("ibvs_int_packets_total",
+                                       {{"outcome", "delivered"}}));
+      m.int_truncated.bind(reg.counter("ibvs_int_packets_total",
+                                       {{"outcome", "truncated"}}));
+      m.int_dropped.bind(
+          reg.counter("ibvs_int_packets_total", {{"outcome", "dropped"}}));
+      m.int_overhead_dwords.bind(reg.counter(
           "ibvs_int_overhead_dwords_total", {},
           "In-band telemetry metadata dwords that crossed links (also "
-          "present in the PMA data counters of the ports traversed)");
+          "present in the PMA data counters of the ports traversed)"));
+      // Capture the instance, not get() (see TransportMetrics for the
+      // fold-hook/magic-static lock-order hazard).
+      reg.add_fold_hook([&m] { m.fold(); });
       return m;
     }();
     return metrics;
@@ -422,20 +441,20 @@ CreditSimReport simulate_flows(const Fabric& fabric,
   Simulator sim(fabric, config);
   const CreditSimReport report = sim.run(flows);
 
-  const CreditSimMetrics& m = CreditSimMetrics::get();
-  m.injected->inc(report.injected);
-  m.delivered->inc(report.delivered);
-  m.dropped_timeout->inc(report.dropped_timeout);
-  m.dropped_unrouted->inc(report.dropped_unrouted);
-  m.dropped_faulted->inc(report.dropped_faulted);
-  if (report.deadlocked) m.deadlocks->inc();
+  CreditSimMetrics& m = CreditSimMetrics::get();
+  m.injected.inc(report.injected);
+  m.delivered.inc(report.delivered);
+  m.dropped_timeout.inc(report.dropped_timeout);
+  m.dropped_unrouted.inc(report.dropped_unrouted);
+  m.dropped_faulted.inc(report.dropped_faulted);
+  if (report.deadlocked) m.deadlocks.inc();
   m.stuck->set(static_cast<double>(report.stuck));
   m.steps->set(static_cast<double>(report.steps));
-  m.int_sampled->inc(report.int_sampled);
-  m.int_delivered->inc(report.int_stacks_delivered);
-  m.int_truncated->inc(report.int_stacks_truncated);
-  m.int_dropped->inc(report.int_stacks_dropped);
-  m.int_overhead_dwords->inc(report.int_overhead_dwords);
+  m.int_sampled.inc(report.int_sampled);
+  m.int_delivered.inc(report.int_stacks_delivered);
+  m.int_truncated.inc(report.int_stacks_truncated);
+  m.int_dropped.inc(report.int_stacks_dropped);
+  m.int_overhead_dwords.inc(report.int_overhead_dwords);
   span.set_attr("steps", std::to_string(report.steps));
   span.set_attr("deadlocked", report.deadlocked ? "true" : "false");
   if (config.int_mode.enabled) {

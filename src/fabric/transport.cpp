@@ -16,10 +16,15 @@ namespace {
 /// references stay valid for the process lifetime.
 struct TransportMetrics {
   static constexpr std::size_t kNumAttributes = 9;
-  std::array<telemetry::Counter*, kNumAttributes * 2 * 2> by_shape{};
-  telemetry::Counter* undeliverable = nullptr;
-  telemetry::Counter* retries = nullptr;
-  telemetry::Counter* timeouts = nullptr;
+  /// The counters tick inside the parallel sweep's send loops, so they are
+  /// sharded: increments land in per-thread cells and a registry fold hook
+  /// drains them before any export — no cache line is shared on the SMP
+  /// path. The latency histogram stays a plain pointer: transports are
+  /// driven serially per instance and observe() is off the contended path.
+  std::array<telemetry::ShardedCounter, kNumAttributes * 2 * 2> by_shape{};
+  telemetry::ShardedCounter undeliverable;
+  telemetry::ShardedCounter retries;
+  telemetry::ShardedCounter timeouts;
   telemetry::Histogram* latency = nullptr;
 
   /// Flat index of one (attribute, method, routing) shape.
@@ -30,9 +35,16 @@ struct TransportMetrics {
            (smp.routing == SmpRouting::kLidRouted ? 1 : 0);
   }
 
-  static const TransportMetrics& get() {
-    static const TransportMetrics metrics = [] {
-      TransportMetrics m;
+  void fold() noexcept {
+    for (auto& c : by_shape) c.fold();
+    undeliverable.fold();
+    retries.fold();
+    timeouts.fold();
+  }
+
+  static TransportMetrics& get() {
+    static TransportMetrics& metrics = []() -> TransportMetrics& {
+      static TransportMetrics m;
       auto& reg = telemetry::Registry::global();
       for (std::size_t a = 0; a < kNumAttributes; ++a) {
         for (const SmpMethod method : {SmpMethod::kGet, SmpMethod::kSet}) {
@@ -42,28 +54,32 @@ struct TransportMetrics {
             smp.attribute = static_cast<SmpAttribute>(a);
             smp.method = method;
             smp.routing = routing;
-            m.by_shape[shape_index(smp)] = &reg.counter(
+            m.by_shape[shape_index(smp)].bind(reg.counter(
                 "ibvs_smp_total",
                 {{"attribute", to_string(smp.attribute)},
                  {"method", method == SmpMethod::kSet ? "Set" : "Get"},
                  {"routing",
                   routing == SmpRouting::kDirected ? "directed" : "lid"}},
-                "SMPs sent by the SM, by attribute/method/routing");
+                "SMPs sent by the SM, by attribute/method/routing"));
           }
         }
       }
-      m.undeliverable = &reg.counter(
+      m.undeliverable.bind(reg.counter(
           "ibvs_smp_undeliverable_total", {},
-          "SMPs the SM gave up on (no path, or every retry timed out)");
-      m.retries = &reg.counter("ibvs_smp_retries_total", {},
-                               "MAD resends after a response timeout");
-      m.timeouts = &reg.counter(
+          "SMPs the SM gave up on (no path, or every retry timed out)"));
+      m.retries.bind(reg.counter("ibvs_smp_retries_total", {},
+                                 "MAD resends after a response timeout"));
+      m.timeouts.bind(reg.counter(
           "ibvs_smp_timeouts_total", {},
-          "MAD response timeouts (lost request or response)");
+          "MAD response timeouts (lost request or response)"));
       m.latency = &reg.histogram(
           "ibvs_smp_latency_us", {},
           telemetry::HistogramOptions{.min_bound = 0.0625, .num_buckets = 24},
           "Simulated per-SMP latency under the timing model");
+      // Capture the instance, not get(): a hook that re-entered get() could
+      // deadlock against a thread still inside this initializer (fold hook
+      // mutex vs. the magic-static guard, taken in opposite orders).
+      reg.add_fold_hook([&m] { m.fold(); });
       return m;
     }();
     return metrics;
@@ -189,14 +205,14 @@ std::optional<std::size_t> SmpTransport::hops_to(NodeId target) {
 
 SendOutcome SmpTransport::account(const Smp& smp,
                                   std::optional<std::size_t> hops) {
-  const TransportMetrics& metrics = TransportMetrics::get();
+  TransportMetrics& metrics = TransportMetrics::get();
   if (smp_tap_ != nullptr) smp_tap_->push_back(smp);
   counters_.record(smp);
-  metrics.by_shape[TransportMetrics::shape_index(smp)]->inc();
+  metrics.by_shape[TransportMetrics::shape_index(smp)].inc();
   SendOutcome outcome;
   if (!hops) {  // no path at all: counted, zero progress
     ++counters_.undeliverable;
-    metrics.undeliverable->inc();
+    metrics.undeliverable.inc();
     return outcome;
   }
   outcome.hops = *hops;
@@ -214,16 +230,16 @@ SendOutcome SmpTransport::account(const Smp& smp,
   }
   if (outcome.attempts > 1) {
     counters_.retries += outcome.attempts - 1;
-    metrics.retries->inc(outcome.attempts - 1);
+    metrics.retries.inc(outcome.attempts - 1);
   }
   if (outcome.timeouts > 0) {
     counters_.timeouts += outcome.timeouts;
-    metrics.timeouts->inc(outcome.timeouts);
+    metrics.timeouts.inc(outcome.timeouts);
   }
   if (!outcome.delivered) {
     // Retries exhausted: the time spent waiting still accrues.
     ++counters_.undeliverable;
-    metrics.undeliverable->inc();
+    metrics.undeliverable.inc();
   }
   metrics.latency->observe(outcome.latency_us);
 

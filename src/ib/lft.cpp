@@ -6,13 +6,19 @@
 
 namespace ibvs {
 
+// kAllDropWord spells kDropPort in every byte lane.
+static_assert(kDropPort == 0xFF, "all-drop word pattern assumes 0xFF");
+static_assert(sizeof(PortNum) == 1, "word-at-a-time scans assume byte entries");
+static_assert(kLftBlockSize % sizeof(std::uint64_t) == 0,
+              "blocks must be whole words");
+
 Lft::Lft(Lid top_lid) { ensure_capacity(top_lid); }
 
 void Lft::ensure_capacity(Lid top_lid) {
   const std::size_t needed_blocks = lft_blocks_for(top_lid);
   if (needed_blocks * kLftBlockSize <= entries_.size()) return;
   entries_.resize(needed_blocks * kLftBlockSize, kDropPort);
-  dirty_.resize(needed_blocks, false);
+  dirty_words_.resize((needed_blocks + 63) / 64, 0);
 }
 
 void Lft::set(Lid lid, PortNum port) {
@@ -22,7 +28,7 @@ void Lft::set(Lid lid, PortNum port) {
   PortNum& entry = entries_[lid.value()];
   if (entry == port) return;
   entry = port;
-  dirty_[lft_block_of(lid)] = true;
+  mark_dirty(lft_block_of(lid));
 }
 
 std::span<const PortNum> Lft::block(std::size_t block_index) const {
@@ -39,22 +45,34 @@ void Lft::set_block(std::size_t block_index, std::span<const PortNum> data) {
   auto* dst = entries_.data() + block_index * kLftBlockSize;
   if (std::equal(data.begin(), data.end(), dst)) return;
   std::copy(data.begin(), data.end(), dst);
-  dirty_[block_index] = true;
+  mark_dirty(block_index);
 }
 
 bool Lft::block_differs(const Lft& other, std::size_t block_index) const {
   const bool here = block_index < block_count();
   const bool there = block_index < other.block_count();
   if (!here && !there) return false;
-  const auto all_drop = [](std::span<const PortNum> data) {
-    return std::all_of(data.begin(), data.end(),
-                       [](PortNum p) { return p == kDropPort; });
+  const auto all_drop = [](const PortNum* p) {
+    std::uint64_t acc = kAllDropWord;
+    for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+      acc &= load_word(p + w * sizeof(std::uint64_t));
+    }
+    return acc == kAllDropWord;
   };
-  if (!here) return !all_drop(other.block(block_index));
-  if (!there) return !all_drop(block(block_index));
-  const auto a = block(block_index);
-  const auto b = other.block(block_index);
-  return !std::equal(a.begin(), a.end(), b.begin());
+  if (!here) {
+    return !all_drop(other.entries_.data() + block_index * kLftBlockSize);
+  }
+  if (!there) {
+    return !all_drop(entries_.data() + block_index * kLftBlockSize);
+  }
+  const PortNum* a = entries_.data() + block_index * kLftBlockSize;
+  const PortNum* b = other.entries_.data() + block_index * kLftBlockSize;
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+    acc |= load_word(a + w * sizeof(std::uint64_t)) ^
+           load_word(b + w * sizeof(std::uint64_t));
+  }
+  return acc != 0;
 }
 
 std::vector<std::size_t> Lft::diff_blocks(const Lft& other) const {
@@ -70,12 +88,18 @@ std::vector<std::size_t> Lft::dirty_blocks() const {
 }
 
 void Lft::clear_dirty() {
-  std::fill(dirty_.begin(), dirty_.end(), false);
+  std::fill(dirty_words_.begin(), dirty_words_.end(), 0);
 }
 
 void Lft::clear() {
   std::fill(entries_.begin(), entries_.end(), kDropPort);
-  std::fill(dirty_.begin(), dirty_.end(), true);
+  // Mark exactly the existing blocks dirty; bits past block_count() must
+  // stay clear or a later ensure_capacity() would inherit phantom dirt.
+  std::fill(dirty_words_.begin(), dirty_words_.end(), ~std::uint64_t{0});
+  const std::size_t tail = block_count() % 64;
+  if (tail != 0 && !dirty_words_.empty()) {
+    dirty_words_.back() = (std::uint64_t{1} << tail) - 1;
+  }
 }
 
 std::size_t Lft::routed_count() const noexcept {

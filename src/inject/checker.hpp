@@ -5,8 +5,13 @@
 // fabric — the same hardware tables a packet would actually traverse:
 //
 //   * reachability — every assigned LID with a physical attachment is
-//     delivered from every (sampled) CA endpoint,
-//   * no routing loops — a trace exceeding its hop budget means the LFTs
+//     delivered from every (sampled) CA endpoint. Implemented as a blocked
+//     bitset-reachability pass: per-switch next-hop composition over flat
+//     uint64_t target bitsets, sharded across pool workers in contiguous
+//     target (LID) ranges, with a serial index-ordered merge that
+//     reproduces a hop-by-hop per-pair trace scan byte for byte (same
+//     violations, same cap/truncation point, same paths_traced),
+//   * no routing loops — a walk exceeding its hop budget means the LFTs
 //     form a forwarding cycle,
 //   * LFT <-> LidMap consistency — the attachment switch of every LID
 //     forwards that LID out of its delivery port,

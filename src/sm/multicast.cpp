@@ -123,10 +123,11 @@ McDistribution McGroupManager::distribute(SmpRouting routing) {
   auto& transport = sm_.transport();
   const std::vector<NodeId> switches = sm_.fabric().switch_ids();
   // Same shape as the unicast sweep fast path: the per-switch MFT diffs
-  // are independent pure reads, so they run on the pool; the send loop
-  // below stays serial in switch order, keeping the SMP stream identical
-  // to a single-threaded distribution. Switches without a master entry
-  // diff against an empty table instead of default-inserting one.
+  // are independent pure reads, so they run on the pool in one contiguous
+  // switch range per worker; the send loop below stays serial in switch
+  // order, keeping the SMP stream identical to a single-threaded
+  // distribution. Switches without a master entry diff against an empty
+  // table instead of default-inserting one.
   static const Mft kEmptyMft;
   std::vector<const Mft*> masters(switches.size(), &kEmptyMft);
   for (std::size_t i = 0; i < switches.size(); ++i) {
@@ -135,9 +136,9 @@ McDistribution McGroupManager::distribute(SmpRouting routing) {
   }
   std::vector<std::vector<std::pair<std::uint32_t, std::uint8_t>>> diffs(
       switches.size());
-  ThreadPool::global().parallel_for_chunks(
+  ThreadPool::global().parallel_for_shards(
       0, switches.size(),
-      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+      [&](std::size_t, std::size_t chunk_begin, std::size_t chunk_end) {
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
           const Node& node = sm_.fabric().node(switches[i]);
           diffs[i] = masters[i]->diff_blocks(

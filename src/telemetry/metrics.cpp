@@ -206,8 +206,19 @@ Histogram& Registry::histogram(std::string_view name, Labels labels,
   return *slot;
 }
 
+void Registry::add_fold_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(fold_mutex_);
+  fold_hooks_.push_back(std::move(hook));
+}
+
+void Registry::run_fold_hooks() const {
+  std::lock_guard<std::mutex> lock(fold_mutex_);
+  for (const auto& hook : fold_hooks_) hook();
+}
+
 std::optional<std::uint64_t> Registry::counter_value(
     std::string_view name, const Labels& labels) const {
+  run_fold_hooks();
   std::lock_guard<std::mutex> lock(mutex_);
   const auto fam = families_.find(name);
   if (fam == families_.end() || fam->second.kind != Kind::kCounter) {
@@ -231,6 +242,7 @@ std::optional<double> Registry::gauge_value(std::string_view name,
 }
 
 std::uint64_t Registry::counter_family_total(std::string_view name) const {
+  run_fold_hooks();
   std::lock_guard<std::mutex> lock(mutex_);
   const auto fam = families_.find(name);
   if (fam == families_.end() || fam->second.kind != Kind::kCounter) return 0;
@@ -242,6 +254,7 @@ std::uint64_t Registry::counter_family_total(std::string_view name) const {
 }
 
 std::vector<MetricSample> Registry::samples() const {
+  run_fold_hooks();
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MetricSample> out;
   for (const auto& [name, fam] : families_) {
@@ -260,6 +273,7 @@ std::vector<MetricSample> Registry::samples() const {
 }
 
 std::string Registry::prometheus_text() const {
+  run_fold_hooks();
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, fam] : families_) {
@@ -313,6 +327,7 @@ std::string Registry::prometheus_text() const {
 }
 
 std::string Registry::json_snapshot() const {
+  run_fold_hooks();
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream counters;
   std::ostringstream gauges;
@@ -376,6 +391,9 @@ std::string Registry::json_snapshot() const {
 }
 
 void Registry::reset_values() {
+  // Drain sharded cells first so they zero along with their base counters
+  // (a cell left pending would resurface in the next fold).
+  run_fold_hooks();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, fam] : families_) {
     for (auto& [labels, counter] : fam.counters) counter->reset();

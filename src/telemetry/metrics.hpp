@@ -20,12 +20,21 @@
 // increments reduce to one relaxed atomic load and a predictable branch, so
 // benches that must not observe the observer stay unperturbed.
 //
+// Hot-path contention: a Counter is one cache line that every incrementing
+// thread bounces. Subsystems whose counters tick inside SMP-level loops
+// (transport accounting, the credit simulator) wrap them in ShardedCounter:
+// per-thread cache-line-padded cells absorb the increments and a fold hook
+// drains them into the underlying Counter before any registry read, so
+// exported values stay exact while the SMP path never shares a line.
+//
 // Export: Prometheus text exposition (prometheus_text) and a JSON snapshot
 // (json_snapshot) consumed by the benches' --metrics-out flag.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +61,11 @@ class Counter {
     if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Unconditional add, bypassing the enabled gate — the fold path of
+  /// ShardedCounter, whose cells were already gated at increment time.
+  void merge(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -59,6 +73,59 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> value_{0};
+};
+
+namespace detail {
+/// Small dense thread index for sharded-cell selection. Thread ids are
+/// handed out once per thread, so two threads only share a cell when more
+/// than kShardCells threads ever existed (and even then increments stay
+/// exact — sharding is a contention optimisation, not a correctness one).
+inline std::atomic<std::size_t> g_shard_slot_next{0};
+inline std::size_t shard_slot() noexcept {
+  thread_local const std::size_t slot =
+      g_shard_slot_next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace detail
+
+/// Contention-free view over a Counter: increments land in a per-thread
+/// cache-line-padded cell; fold() drains the cells into the base Counter.
+/// The owner must arrange for fold() to run before the base value is read —
+/// Registry::add_fold_hook() does exactly that for every registry export.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kCells = 16;
+
+  ShardedCounter() = default;
+  explicit ShardedCounter(Counter& base) : base_(&base) {}
+
+  void bind(Counter& base) noexcept { base_ = &base; }
+
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    cells_[detail::shard_slot() % kCells].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Moves every pending cell value into the base Counter. Safe to run
+  /// concurrently with inc() (increments between the exchange and the merge
+  /// simply wait for the next fold).
+  void fold() noexcept {
+    if (base_ == nullptr) return;
+    for (Cell& cell : cells_) {
+      const std::uint64_t pending =
+          cell.value.exchange(0, std::memory_order_relaxed);
+      if (pending != 0) base_->merge(pending);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::array<Cell, kCells> cells_{};
+  Counter* base_ = nullptr;
 };
 
 class Gauge {
@@ -182,9 +249,20 @@ class Registry {
 
   /// Zeroes every value, keeping families and children (and therefore all
   /// cached references) alive. For tests and benches that diff runs.
+  /// Sharded cells are folded first, so they reset along with their bases.
   void reset_values();
 
+  /// Registers a hook run before every registry read (samples, exports,
+  /// counter_value, family totals) and before reset_values. Subsystems with
+  /// ShardedCounters register one hook that folds them, making the sharding
+  /// invisible to every consumer. Hooks live for the registry's lifetime.
+  void add_fold_hook(std::function<void()> hook);
+
  private:
+  /// Runs the registered fold hooks (outside mutex_: hooks touch counters,
+  /// never the registry maps).
+  void run_fold_hooks() const;
+
   enum class Kind { kCounter, kGauge, kHistogram };
 
   struct Family {
@@ -202,6 +280,8 @@ class Registry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Family, std::less<>> families_;
+  mutable std::mutex fold_mutex_;
+  std::vector<std::function<void()>> fold_hooks_;
 };
 
 /// Escapes `\`, `"` and control characters for JSON string literals (shared

@@ -96,6 +96,56 @@ void ThreadPool::parallel_for_chunks(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for_shards(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t shards = shard_count(total);
+  if (shards <= 1) {
+    body(0, begin, end);
+    return;
+  }
+  // Balanced split: the first `total % shards` shards get one extra item,
+  // so shard sizes differ by at most one.
+  const std::size_t base = total / shards;
+  const std::size_t extra = total % shards;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::exception_ptr first_error;
+
+  std::size_t at = begin;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const std::size_t shard_begin = at;
+    const std::size_t shard_end = shard_begin + base + (shard < extra ? 1 : 0);
+    at = shard_end;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++pending;
+    }
+    submit([&, shard, shard_begin, shard_end] {
+      try {
+        body(shard, shard_begin, shard_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        // Notify under the lock (see parallel_for_chunks).
+        std::lock_guard<std::mutex> lock(done_mutex);
+        --pending;
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   parallel_for_chunks(begin, end,

@@ -7,6 +7,7 @@
 // 11k-node scale would otherwise dominate small runs).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -39,6 +40,24 @@ class ThreadPool {
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Number of shards parallel_for_shards() will split `total` items into:
+  /// one contiguous range per worker (never more shards than items). Callers
+  /// use it to pre-size per-shard result slots before fanning out.
+  [[nodiscard]] std::size_t shard_count(std::size_t total) const noexcept {
+    return std::min(total, size());
+  }
+
+  /// Coarse-grained fan-out: splits [begin, end) into exactly
+  /// shard_count(end - begin) contiguous, balanced ranges — one task per
+  /// worker instead of the 4x-oversubscribed chunks of parallel_for_chunks.
+  /// `body(shard, shard_begin, shard_end)` runs once per shard; shard
+  /// indices are dense in [0, shard_count). This is the DPDK-style lcore
+  /// model for the sweep hot paths: per-shard scratch state is touched by
+  /// exactly one worker and task-queue traffic is O(workers), not O(items).
+  void parallel_for_shards(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
   /// Process-wide shared pool. Sized, in priority order, by the last
   /// set_global_threads() call, the IBVS_THREADS environment variable, or

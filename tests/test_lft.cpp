@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "ib/lft.hpp"
 
 namespace ibvs {
@@ -167,6 +169,57 @@ TEST(Lft, ClearResetsEntries) {
   EXPECT_EQ(a.routed_count(), 0u);
   // clear marks everything dirty (the whole table must be redistributed).
   EXPECT_EQ(a.dirty_blocks().size(), a.block_count());
+}
+
+// The word-at-a-time XOR/AND scan in for_each_diff_block must agree with a
+// byte-by-byte scalar comparison on arbitrary tables — including tables of
+// different capacity, where the longer table's tail diffs against the
+// implicit all-drop pattern. Randomized: sparse and dense mutations, edits
+// that straddle block boundaries, and edits in the non-shared tail.
+TEST(Lft, DiffBlocksMatchScalarReferenceOnRandomTables) {
+  std::mt19937 rng(0x1b5eed);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Lid top_a{static_cast<std::uint16_t>(1 + rng() % 700)};
+    const Lid top_b{static_cast<std::uint16_t>(1 + rng() % 700)};
+    Lft a(top_a);
+    Lft b(top_b);
+    const auto mutate = [&](Lft& t, const Lid top, const std::size_t edits) {
+      for (std::size_t i = 0; i < edits; ++i) {
+        const std::uint16_t lid =
+            static_cast<std::uint16_t>(1 + rng() % top.value());
+        t.set(Lid{lid}, static_cast<PortNum>(rng() % 37));
+      }
+    };
+    mutate(a, top_a, rng() % 64);
+    mutate(b, top_b, rng() % 64);
+    // Half the time, start b as a copy of a so most blocks compare equal
+    // (the common sweep case: few dirty blocks in a mostly-stable table).
+    if (rng() % 2 == 0) {
+      b = a;
+      mutate(b, top_a, 1 + rng() % 8);
+    }
+
+    // Scalar reference: walk every entry of every block of the longer
+    // table; out-of-range entries read as kDropPort on both sides.
+    const std::size_t blocks =
+        std::max(a.block_count(), b.block_count());
+    std::vector<std::size_t> expected;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      bool differs = false;
+      for (std::size_t e = 0; e < kLftBlockSize && !differs; ++e) {
+        const Lid lid{static_cast<std::uint16_t>(blk * kLftBlockSize + e)};
+        differs = a.get(lid) != b.get(lid);
+      }
+      if (differs) expected.push_back(blk);
+    }
+
+    EXPECT_EQ(a.diff_blocks(b), expected) << "iter " << iter;
+    std::vector<std::size_t> scanned;
+    a.for_each_diff_block(b, [&](std::size_t blk) { scanned.push_back(blk); });
+    EXPECT_EQ(scanned, expected) << "iter " << iter;
+    // The diff is symmetric in which blocks differ.
+    EXPECT_EQ(b.diff_blocks(a), expected) << "iter " << iter;
+  }
 }
 
 TEST(Lft, SetBlockSkipsNoopWrites) {

@@ -8,7 +8,10 @@
 // running the same scenario at 1 and 4 threads and comparing everything.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fabric/credit_sim.hpp"
+#include "fabric/trace.hpp"
 #include "inject/chaos.hpp"
 #include "inject/checker.hpp"
 #include "perf/int_collector.hpp"
@@ -20,6 +23,11 @@ namespace {
 
 using test::PhysicalSubnet;
 using test::VirtualSubnet;
+
+/// Pool sizes every sharded fast path must be indistinguishable under.
+/// 1 is the serial baseline; 4 and 8 oversubscribe this runner's cores in
+/// different shard geometries.
+constexpr std::size_t kThreadSweep[] = {1, 4, 8};
 
 /// Restores the default global pool sizing when a test exits.
 struct ThreadGuard {
@@ -39,19 +47,22 @@ std::vector<Smp> sweep_stream(PhysicalSubnet& s) {
 }
 
 TEST(ParallelDeterminism, SweepSmpStreamMatchesSingleThreaded) {
-  std::vector<Smp> streams[2];
-  std::vector<Lft> lfts[2];
-  for (int run = 0; run < 2; ++run) {
-    ThreadGuard guard(run == 0 ? 1 : 4);
+  std::vector<std::vector<Smp>> streams;
+  std::vector<std::vector<Lft>> lfts;
+  for (const std::size_t threads : kThreadSweep) {
+    ThreadGuard guard(threads);
     auto s = PhysicalSubnet::small_fat_tree();
-    streams[run] = sweep_stream(s);
+    streams.push_back(sweep_stream(s));
+    lfts.emplace_back();
     for (const NodeId sw : s.fabric.switch_ids()) {
-      lfts[run].push_back(s.fabric.node(sw).lft);
+      lfts.back().push_back(s.fabric.node(sw).lft);
     }
   }
   ASSERT_FALSE(streams[0].empty());
-  EXPECT_EQ(streams[0], streams[1]);
-  EXPECT_EQ(lfts[0], lfts[1]);
+  for (std::size_t run = 1; run < streams.size(); ++run) {
+    EXPECT_EQ(streams[0], streams[run]) << kThreadSweep[run] << " threads";
+    EXPECT_EQ(lfts[0], lfts[run]) << kThreadSweep[run] << " threads";
+  }
 }
 
 TEST(ParallelDeterminism, ReconvergeStreamMatchesSingleThreaded) {
@@ -88,9 +99,9 @@ TEST(ParallelDeterminism, DfssspTablesAndVlsMatchSingleThreaded) {
 }
 
 TEST(ParallelDeterminism, CheckerReportMatchesSingleThreaded) {
-  inject::CheckReport reports[2];
-  for (int run = 0; run < 2; ++run) {
-    ThreadGuard guard(run == 0 ? 1 : 4);
+  std::vector<inject::CheckReport> reports;
+  for (const std::size_t threads : kThreadSweep) {
+    ThreadGuard guard(threads);
     auto s = PhysicalSubnet::small_fat_tree();
     s.sm->full_sweep();
     // Break forwarding on purpose so the report carries violations whose
@@ -99,26 +110,31 @@ TEST(ParallelDeterminism, CheckerReportMatchesSingleThreaded) {
     s.fabric.node(leaf).lft.clear();
     const inject::FabricChecker checker(
         *s.sm, inject::CheckerConfig{.max_violations = 5, .max_sources = 4});
-    reports[run] = checker.check();
+    reports.push_back(checker.check());
   }
   EXPECT_FALSE(reports[0].clean());
-  EXPECT_EQ(reports[0].violations, reports[1].violations);
-  EXPECT_EQ(reports[0].truncated, reports[1].truncated);
-  EXPECT_EQ(reports[0].paths_traced, reports[1].paths_traced);
-  EXPECT_EQ(reports[0].sources_sampled, reports[1].sources_sampled);
+  for (std::size_t run = 1; run < reports.size(); ++run) {
+    EXPECT_EQ(reports[0].violations, reports[run].violations)
+        << kThreadSweep[run] << " threads";
+    EXPECT_EQ(reports[0].truncated, reports[run].truncated);
+    EXPECT_EQ(reports[0].paths_traced, reports[run].paths_traced);
+    EXPECT_EQ(reports[0].sources_sampled, reports[run].sources_sampled);
+  }
 }
 
 TEST(ParallelDeterminism, ChaosDigestMatchesSingleThreaded) {
-  std::uint64_t digests[2] = {0, 1};
-  for (int run = 0; run < 2; ++run) {
-    ThreadGuard guard(run == 0 ? 1 : 4);
+  std::vector<std::uint64_t> digests;
+  for (const std::size_t threads : kThreadSweep) {
+    ThreadGuard guard(threads);
     auto s = VirtualSubnet::small(core::LidScheme::kPrepopulated);
     s.vsf->boot();
     const auto report = inject::run_chaos(*s.vsf, /*seed=*/42, /*steps=*/24);
-    digests[run] = report.digest;
+    digests.push_back(report.digest);
     EXPECT_TRUE(report.all_converged);
   }
-  EXPECT_EQ(digests[0], digests[1]);
+  for (std::size_t run = 1; run < digests.size(); ++run) {
+    EXPECT_EQ(digests[0], digests[run]) << kThreadSweep[run] << " threads";
+  }
 }
 
 TEST(ParallelDeterminism, IntCongestionMapMatchesSingleThreaded) {
@@ -155,6 +171,184 @@ TEST(ParallelDeterminism, IntCongestionMapMatchesSingleThreaded) {
   ASSERT_GT(sampled[0], 0u);
   EXPECT_EQ(sampled[0], sampled[1]);
   EXPECT_EQ(jsons[0], jsons[1]);  // byte-identical at 1 vs 4 threads
+}
+
+// ---------------------------------------------------------------------------
+// Serial-trace oracle for the bitset reachability pass.
+//
+// The checker's contract is that its report is byte-identical to what a
+// per-(source, target) trace_unicast scan would produce. The bitset pass
+// earns its speed through cross-source memoization, inline vSwitch hops,
+// and dense per-switch plans — each an opportunity to diverge. This oracle
+// replays the checker's exact source sampling and target collection, walks
+// every pair with the serial tracer, and formats findings the way the
+// checker does, truncation semantics included.
+
+struct SerialExpectation {
+  std::vector<std::string> violations;
+  std::size_t paths_traced = 0;
+  bool truncated = false;
+  std::size_t sources_sampled = 0;
+};
+
+SerialExpectation serial_reference(const sm::SubnetManager& sm,
+                                   const inject::CheckerConfig& config) {
+  const Fabric& fabric = sm.fabric();
+  const LidMap& lids = sm.lids();
+
+  std::vector<NodeId> sources;
+  for (NodeId id = 0; id < fabric.size(); ++id) {
+    const Node& n = fabric.node(id);
+    if (!n.is_ca() || !n.ports[1].connected()) continue;
+    if (!fabric.physical_attachment(id)) continue;
+    sources.push_back(id);
+  }
+  if (config.max_sources > 0 && sources.size() > config.max_sources) {
+    std::vector<NodeId> sampled;
+    const std::size_t n = sources.size();
+    const std::size_t k = config.max_sources;
+    for (std::size_t i = 0; i < k; ++i) {
+      sampled.push_back(sources[k > 1 ? i * (n - 1) / (k - 1) : 0]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    sources = std::move(sampled);
+  }
+
+  const auto any_port_connected = [](const Node& n) {
+    for (PortNum p = 1; p <= n.num_ports(); ++p) {
+      if (n.ports[p].connected()) return true;
+    }
+    return false;
+  };
+  std::vector<Lid> targets;
+  for (const Lid lid : lids.assigned_lids()) {
+    if (!lids.attachment(fabric, lid)) continue;
+    const LidMap::Owner owner = lids.owner(lid);
+    if (owner.valid() && owner.node < fabric.size() &&
+        !any_port_connected(fabric.node(owner.node))) {
+      continue;
+    }
+    targets.push_back(lid);
+  }
+
+  SerialExpectation out;
+  out.sources_sampled = sources.size();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Node& src = fabric.node(sources[i]);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const auto result =
+          fabric::trace_unicast(fabric, sources[i], targets[t]);
+      if (result.status == fabric::TraceStatus::kDelivered) continue;
+      std::string what =
+          result.status == fabric::TraceStatus::kLoop
+              ? "routing loop tracing LID " +
+                    std::to_string(targets[t].value()) + " from " + src.name
+              : "LID " + std::to_string(targets[t].value()) +
+                    " unreachable from " + src.name + " (" +
+                    fabric::to_string(result.status) + ")";
+      out.violations.push_back(std::move(what));
+      if (out.violations.size() >= config.max_violations) {
+        out.truncated = true;
+        out.paths_traced = i * targets.size() + t + 1;
+        return out;
+      }
+    }
+  }
+  out.paths_traced = sources.size() * targets.size();
+  return out;
+}
+
+/// First port of `node` cabled to `peer` (0 when not adjacent).
+PortNum port_towards(const Fabric& fabric, NodeId node, NodeId peer) {
+  const Node& n = fabric.node(node);
+  for (PortNum p = 1; p <= n.num_ports(); ++p) {
+    if (n.ports[p].connected() && n.ports[p].peer == peer) return p;
+  }
+  return 0;
+}
+
+/// Compares the checker (at every pool size) against the serial oracle at
+/// a generous cap and at a truncating one.
+void expect_matches_serial(const sm::SubnetManager& sm) {
+  const inject::CheckerConfig configs[] = {
+      {.max_violations = 500, .max_sources = 5},
+      {.max_violations = 3, .max_sources = 5},
+  };
+  for (const auto& config : configs) {
+    const SerialExpectation expected = serial_reference(sm, config);
+    for (const std::size_t threads : kThreadSweep) {
+      ThreadGuard guard(threads);
+      const inject::FabricChecker checker(sm, config);
+      const inject::CheckReport report = checker.check();
+      EXPECT_EQ(report.violations, expected.violations)
+          << threads << " threads, cap " << config.max_violations;
+      EXPECT_EQ(report.truncated, expected.truncated)
+          << threads << " threads, cap " << config.max_violations;
+      EXPECT_EQ(report.paths_traced, expected.paths_traced)
+          << threads << " threads, cap " << config.max_violations;
+      EXPECT_EQ(report.sources_sampled, expected.sources_sampled);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CheckerMatchesSerialTraceOnBrokenPhysicalFabric) {
+  auto s = PhysicalSubnet::small_fat_tree();
+  s.sm->full_sweep();
+  const Fabric& fabric = s.fabric;
+  const NodeId leaf0 = s.built.leaves[0];
+  const NodeId leaf2 = s.built.leaves[2];
+  const NodeId spine0 = s.built.spines[0];
+  const NodeId spine1 = s.built.spines[1];
+
+  // One fault per walk outcome, all placed *away* from the broken LIDs'
+  // attachment switches so the LidMap pass stays clean and the report is
+  // purely reachability findings.
+  // kLoop: ping-pong a remote host LID between leaf0 and spine0.
+  const Lid loop_lid = fabric.node(s.hosts[4]).lid();
+  s.fabric.node(leaf0).lft.set(loop_lid, port_towards(fabric, leaf0, spine0));
+  s.fabric.node(spine0).lft.set(loop_lid,
+                                port_towards(fabric, spine0, leaf0));
+  // kDropped + kNoRoute: spine1 drops one host LID outright and forwards
+  // another into an uncabled port.
+  const Lid drop_lid = fabric.node(s.hosts[7]).lid();
+  s.fabric.node(spine1).lft.set(drop_lid, kDropPort);
+  const Lid dangle_lid = fabric.node(s.hosts[10]).lid();
+  s.fabric.node(spine1).lft.set(dangle_lid,
+                                fabric.node(spine1).num_ports());
+  // kWrongDelivery: divert a leaf0-attached LID to a host under leaf2.
+  const Lid divert_lid = fabric.node(s.hosts[1]).lid();
+  s.fabric.node(spine0).lft.set(divert_lid,
+                                port_towards(fabric, spine0, leaf2));
+  s.fabric.node(spine1).lft.set(divert_lid,
+                                port_towards(fabric, spine1, leaf2));
+  s.fabric.node(leaf2).lft.set(divert_lid,
+                               port_towards(fabric, leaf2, s.hosts[8]));
+
+  expect_matches_serial(*s.sm);
+}
+
+TEST(ParallelDeterminism, CheckerMatchesSerialTraceOnBrokenVirtualFabric) {
+  // Same oracle over a virtualized subnet: walks now transit vSwitches
+  // (inline-hop fast path) and VF LIDs join both the source and target
+  // sets. Wipe one spine and loop one VF LID between the spines.
+  auto s = VirtualSubnet::small(core::LidScheme::kPrepopulated);
+  s.vsf->boot();
+  const Fabric& fabric = s.fabric;
+  const NodeId spine0 = s.built.spines[0];
+  const NodeId spine1 = s.built.spines[1];
+
+  // hyp-2 (and its VFs) hangs off leaf 0, so ping-ponging its LID between
+  // spine 0 and leaf *1* leaves the attachment switch's entry intact and
+  // the LidMap pass clean.
+  const Lid vf_lid = fabric.node(s.hyps[2].vfs[1]).lid();
+  ASSERT_NE(s.hyps[2].leaf, s.built.leaves[1]);
+  s.fabric.node(spine0).lft.set(
+      vf_lid, port_towards(fabric, spine0, s.built.leaves[1]));
+  s.fabric.node(s.built.leaves[1])
+      .lft.set(vf_lid, port_towards(fabric, s.built.leaves[1], spine0));
+  s.fabric.node(spine1).lft.clear();
+
+  expect_matches_serial(*s.sm);
 }
 
 // Regression: distribute_lfts() used to push blocks at switches the SM has
