@@ -23,15 +23,17 @@ using namespace ibvs;
 
 std::uint64_t g_seed = 7;  ///< default; override with --seed
 bool g_migration_faults = false;  ///< --migration-faults
+bool g_topology_faults = false;   ///< --topology-faults
 
-/// Strips the valueless `--migration-faults` flag from argv. When set, the
-/// chaos mix additionally kills migration destinations mid-flight and the
-/// master SM mid-batch, exercising rollback and journal replay.
-bool consume_migration_faults(int& argc, char** argv) {
+/// Strips the valueless flag `name` from argv. --migration-faults adds
+/// destination/master kills mid-migration (rollback + journal replay);
+/// --topology-faults adds live attach/detach deltas plus their fault
+/// twins (switch killed mid-attach, master killed mid-detach).
+bool consume_flag(int& argc, char** argv, std::string_view name) {
   bool found = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--migration-faults") {
+    if (std::string_view(argv[i]) == name) {
       found = true;
       continue;
     }
@@ -77,8 +79,9 @@ bench::VirtualBench make_tree(topology::PaperFatTree which) {
 void print_table() {
   std::printf(
       "\nChaos re-convergence: %zu seeded events per run (cuts, flaps, "
-      "switch kills, migrations%s), seed=%llu\n",
+      "switch kills, migrations%s%s), seed=%llu\n",
       kSteps, g_migration_faults ? ", migration faults" : "",
+      g_topology_faults ? ", topology deltas" : "",
       static_cast<unsigned long long>(g_seed));
   std::printf("%-28s %7s %7s %7s %8s %9s %9s %13s %7s %5s %-18s\n", "tree",
               "drop-p", "events", "rounds", "smps", "retries", "timeouts",
@@ -88,6 +91,8 @@ void print_table() {
   std::size_t tree_idx = 0;
   std::size_t txn_commits = 0;
   std::size_t txn_rollbacks = 0;
+  std::size_t topo_commits = 0;
+  std::size_t topo_rollbacks = 0;
   for (const auto which : bench::selected_paper_trees()) {
     for (std::size_t r = 0; r < std::size(kFaultRates); ++r) {
       auto b = make_tree(which);
@@ -102,9 +107,17 @@ void print_table() {
         config.weight_kill_dst_mid_migration = 2;
         config.weight_kill_master_mid_reconfig = 2;
       }
+      if (g_topology_faults) {
+        config.weight_attach_switch = 2;
+        config.weight_detach_switch = 2;
+        config.weight_kill_switch_mid_attach = 1;
+        config.weight_kill_master_mid_detach = 1;
+      }
       const auto report = inject::run_chaos(cloud, injector, config);
       txn_commits += report.migration_commits;
       txn_rollbacks += report.migration_rollbacks;
+      topo_commits += report.topology_commits;
+      topo_rollbacks += report.topology_rollbacks;
       std::printf(
           "%-28s %7.2f %7zu %7zu %8llu %9llu %9llu %13.1f %7llu %5zu "
           "0x%016llx%s\n",
@@ -127,6 +140,12 @@ void print_table() {
         "migration txns under fault: committed=%zu rolled_back=%zu "
         "(every transaction terminal)\n",
         txn_commits, txn_rollbacks);
+  }
+  if (g_topology_faults) {
+    std::printf(
+        "topology txns under fault: committed=%zu rolled_back=%zu "
+        "(every delta terminal)\n",
+        topo_commits, topo_rollbacks);
   }
   std::printf(
       "Lossier fabrics pay in resends and response timeouts, not in "
@@ -184,7 +203,8 @@ int main(int argc, char** argv) {
   const auto trace_out = ibvs::bench::consume_trace_out(argc, argv);
   ibvs::bench::consume_threads(argc, argv);
   g_seed = ibvs::bench::consume_seed(argc, argv, g_seed);
-  g_migration_faults = consume_migration_faults(argc, argv);
+  g_migration_faults = consume_flag(argc, argv, "--migration-faults");
+  g_topology_faults = consume_flag(argc, argv, "--topology-faults");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -571,4 +571,49 @@ FleetExecution PlanExecutor::execute(const MigrationPlanner& planner,
   return out;
 }
 
+DrainDetachReport drain_and_detach(
+    CloudOrchestrator& cloud, NodeId leaf,
+    const core::MigrationOptions& options, const ExecutorPolicy& policy,
+    const sm::TopologyApplyOptions& detach_options) {
+  core::VSwitchFabric& vsf = cloud.fabric();
+  const auto& hyps = vsf.hypervisors();
+
+  const auto resident_under_leaf = [&]() {
+    std::size_t n = 0;
+    for (std::size_t h = 0; h < hyps.size(); ++h) {
+      if (hyps[h].leaf != leaf) continue;
+      n += hyps[h].vfs.size() - vsf.free_vf_count(h);
+    }
+    return n;
+  };
+
+  DrainDetachReport report;
+  const std::size_t before = resident_under_leaf();
+  if (before > 0) {
+    MigrationPlanner planner(cloud);
+    FleetGoal goal;
+    goal.kind = FleetGoalKind::kEvacuateLeaf;
+    goal.leaf = leaf;
+    report.plan = planner.plan(goal);
+    PlanExecutor executor(cloud);
+    report.evacuation =
+        executor.execute(planner, report.plan, options, policy);
+  }
+  const std::size_t after = resident_under_leaf();
+  report.vms_evacuated = before - after;
+  if (after > 0) {
+    // A fleet pass that exhausted its re-plans left live VMs behind; the
+    // detach must not orphan them.
+    throw sm::TopologyError(
+        sm::TopologyErrc::kNotDrained,
+        "evacuation left " + std::to_string(after) +
+            " VM(s) resident under the leaf; detach refused");
+  }
+  sm::TopologyTxnManager topo(vsf.subnet_manager(), vsf.journal());
+  report.detach =
+      topo.detach_switch(leaf, /*allow_orphan_endpoints=*/true,
+                         detach_options);
+  return report;
+}
+
 }  // namespace ibvs::cloud

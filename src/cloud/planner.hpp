@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "cloud/orchestrator.hpp"
+#include "sm/topology_txn.hpp"
 
 namespace ibvs::cloud {
 
@@ -218,6 +219,30 @@ struct FleetExecution {
   std::size_t replans = 0;
   std::vector<BatchExecution> batches;
 };
+
+/// Outcome of one drain-and-detach: the evacuation fleet run (empty when
+/// the leaf hosted no VMs) followed by the topology transaction that
+/// severed the switch.
+struct DrainDetachReport {
+  MigrationPlan plan;
+  FleetExecution evacuation;
+  std::size_t vms_evacuated = 0;
+  sm::TopologyTxn detach;
+};
+
+/// Maintenance drain: evacuates every VM resident under `leaf` with the
+/// fleet planner (kEvacuateLeaf — batched, conflict-aware, swap-free), then
+/// detaches the switch through a journaled TopologyTxnManager transaction.
+/// The detach passes allow_orphan_endpoints because the emptied
+/// hypervisors' PF/vSwitch LIDs stay cabled below the leaf (dark until a
+/// re-attach); *VM* LIDs still resident after the evacuation — a fleet pass
+/// that exhausted its re-plans — abort with TopologyErrc::kNotDrained
+/// before any cable moves.
+DrainDetachReport drain_and_detach(
+    CloudOrchestrator& cloud, NodeId leaf,
+    const core::MigrationOptions& options = {},
+    const ExecutorPolicy& policy = {},
+    const sm::TopologyApplyOptions& detach_options = {});
 
 class PlanExecutor {
  public:

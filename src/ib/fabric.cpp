@@ -66,6 +66,35 @@ void Fabric::disconnect(NodeId id, PortNum port) {
   q.counters.add_link_downed();
 }
 
+std::vector<CableSpec> Fabric::cables_of(NodeId id) const {
+  const Node& n = node(id);
+  std::vector<CableSpec> result;
+  for (PortNum p = 1; p <= n.num_ports(); ++p) {
+    const Port& port = n.ports[p];
+    if (!port.connected()) continue;
+    result.push_back(CableSpec{id, p, port.peer, port.peer_port});
+  }
+  return result;
+}
+
+std::vector<CableSpec> Fabric::sever_all(NodeId id) {
+  std::vector<CableSpec> cables = cables_of(id);
+  for (const CableSpec& c : cables) disconnect(c.a, c.port_a);
+  return cables;
+}
+
+void Fabric::restore_cables(const std::vector<CableSpec>& cables) {
+  for (const CableSpec& c : cables) connect(c.a, c.port_a, c.b, c.port_b);
+}
+
+std::optional<PortNum> Fabric::free_port(NodeId id) const {
+  const Node& n = node(id);
+  for (PortNum p = 1; p <= n.num_ports(); ++p) {
+    if (!n.ports[p].connected()) return p;
+  }
+  return std::nullopt;
+}
+
 const Node& Fabric::node(NodeId id) const {
   IBVS_REQUIRE(id < nodes_.size(), "node id out of range");
   return nodes_[id];

@@ -101,6 +101,16 @@ struct Node {
   }
 };
 
+/// One physical cable, described from `a`'s side. Topology deltas record
+/// cables in this form so an exact cabling can be severed and later restored
+/// (rollback of a detach, revival of a killed switch).
+struct CableSpec {
+  NodeId a = kInvalidNode;
+  PortNum port_a = 0;
+  NodeId b = kInvalidNode;
+  PortNum port_b = 0;
+};
+
 /// Mutable container for the whole subnet.
 class Fabric {
  public:
@@ -119,6 +129,23 @@ class Fabric {
 
   /// Removes the cable attached to (node, port), both ends.
   void disconnect(NodeId node, PortNum port);
+
+  /// All cables attached to `id`, described from `id`'s side, in ascending
+  /// port order.
+  [[nodiscard]] std::vector<CableSpec> cables_of(NodeId id) const;
+
+  /// Disconnects every cable on `id` and returns them (ascending port order)
+  /// so the caller can restore the exact cabling later. Topology-delta hook:
+  /// detach_switch severs with this and keeps the list in its journal record
+  /// for byte-identical rollback.
+  std::vector<CableSpec> sever_all(NodeId id);
+
+  /// Re-plugs cables previously returned by sever_all/cables_of. Every
+  /// endpoint pair must currently be free.
+  void restore_cables(const std::vector<CableSpec>& cables);
+
+  /// Lowest-numbered unconnected external port of `id`, if any.
+  [[nodiscard]] std::optional<PortNum> free_port(NodeId id) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const Node& node(NodeId id) const;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cloud/planner.hpp"
+#include "sm/topology_txn.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/expect.hpp"
@@ -112,6 +113,10 @@ enum class EventKind {
   kMigrate,
   kKillDstMidMigration,
   kKillMasterMidReconfig,
+  kAttachSwitch,
+  kDetachSwitch,
+  kKillSwitchMidAttach,
+  kKillMasterMidDetach,
 };
 
 const char* kind_name(EventKind kind) {
@@ -132,6 +137,14 @@ const char* kind_name(EventKind kind) {
       return "kill_dst_mid_migration";
     case EventKind::kKillMasterMidReconfig:
       return "kill_master_mid_reconfig";
+    case EventKind::kAttachSwitch:
+      return "attach_switch";
+    case EventKind::kDetachSwitch:
+      return "detach_switch";
+    case EventKind::kKillSwitchMidAttach:
+      return "kill_switch_mid_attach";
+    case EventKind::kKillMasterMidDetach:
+      return "kill_master_mid_detach";
   }
   return "?";
 }
@@ -190,6 +203,10 @@ std::string to_string(const ChaosReport& report) {
   if (report.migration_commits + report.migration_rollbacks > 0) {
     os << "migration txns: committed=" << report.migration_commits
        << " rolled_back=" << report.migration_rollbacks << "\n";
+  }
+  if (report.topology_commits + report.topology_rollbacks > 0) {
+    os << "topology txns: committed=" << report.topology_commits
+       << " rolled_back=" << report.topology_rollbacks << "\n";
   }
   return os.str();
 }
@@ -426,6 +443,10 @@ ChaosReport run_chaos(cloud::CloudOrchestrator& cloud,
       {EventKind::kKillDstMidMigration, config.weight_kill_dst_mid_migration},
       {EventKind::kKillMasterMidReconfig,
        config.weight_kill_master_mid_reconfig},
+      {EventKind::kAttachSwitch, config.weight_attach_switch},
+      {EventKind::kDetachSwitch, config.weight_detach_switch},
+      {EventKind::kKillSwitchMidAttach, config.weight_kill_switch_mid_attach},
+      {EventKind::kKillMasterMidDetach, config.weight_kill_master_mid_detach},
   };
   unsigned total_weight = 0;
   for (const auto& k : kinds) total_weight += k.weight;
@@ -460,6 +481,72 @@ ChaosReport run_chaos(cloud::CloudOrchestrator& cloud,
     }
     if (dsts.empty()) return std::nullopt;
     return MigrationPick{vm, src_hyp, dsts[rng.below(dsts.size())]};
+  };
+
+  // Topology-delta plumbing (only exercised when the corresponding weights
+  // are non-zero — default configs never construct a transaction).
+  sm::TopologyTxnManager topo(sm, vsf.journal());
+
+  /// Live, reachable physical switches with at least one free port — the
+  /// peers a new chaos switch can cable into.
+  const auto attach_peers = [&]() {
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < fabric.size(); ++id) {
+      if (!fabric.node(id).is_physical_switch()) continue;
+      if (injector.is_dead(id)) continue;
+      if (!fabric.free_port(id)) continue;
+      if (!transport.hops_to(id)) continue;
+      out.push_back(id);
+    }
+    return out;
+  };
+
+  /// Draws one or two distinct peers and cables a brand-new 4-port switch
+  /// toward them (two draws when two peers exist — part of the determinism
+  /// contract). Returns the new switch and its cable list.
+  const auto draw_attach =
+      [&](const std::vector<NodeId>& peers)
+      -> std::pair<NodeId, std::vector<CableSpec>> {
+    const NodeId p1 = peers[rng.below(peers.size())];
+    NodeId p2 = kInvalidNode;
+    std::vector<NodeId> rest;
+    for (const NodeId id : peers) {
+      if (id != p1) rest.push_back(id);
+    }
+    if (!rest.empty()) p2 = rest[rng.below(rest.size())];
+    const NodeId sw = fabric.add_switch(
+        "chaos-sw" + std::to_string(fabric.size()), 4);
+    std::vector<CableSpec> cables{{sw, 1, p1, *fabric.free_port(p1)}};
+    if (p2 != kInvalidNode) cables.push_back({sw, 2, p2, *fabric.free_port(p2)});
+    return {sw, std::move(cables)};
+  };
+
+  /// Switches a detach transaction would accept: alive, cabled, endpoint-
+  /// free (no assigned LID attaches through them), not hosting the SM, and
+  /// removable without cutting any currently-reachable node off.
+  const auto detach_candidates = [&]() {
+    std::vector<NodeId> out;
+    const auto sm_attach = fabric.node(sm_node).is_ca()
+                               ? fabric.physical_attachment(sm_node)
+                               : std::nullopt;
+    for (NodeId id = 0; id < fabric.size(); ++id) {
+      if (!fabric.node(id).is_physical_switch()) continue;
+      if (injector.is_dead(id)) continue;
+      if (id == sm_node || (sm_attach && sm_attach->first == id)) continue;
+      if (fabric.cables_of(id).empty()) continue;
+      if (!safe_to_remove(fabric, sm_node, nullptr, id)) continue;
+      bool hosts_endpoint = false;
+      for (const Lid lid : sm.lids().assigned_lids()) {
+        if (sm.lids().owner(lid).node == id) continue;
+        const auto att = sm.lids().attachment(fabric, lid);
+        if (att && att->first == id) {
+          hosts_endpoint = true;
+          break;
+        }
+      }
+      if (!hosts_endpoint) out.push_back(id);
+    }
+    return out;
   };
 
   for (std::size_t step = 0; step < config.steps; ++step) {
@@ -646,6 +733,128 @@ ChaosReport run_chaos(cloud::CloudOrchestrator& cloud,
           }
           ++report.migrations;
           applied = true;
+        }
+        break;
+      }
+      case EventKind::kAttachSwitch: {
+        // Expand the fabric live: a brand-new switch cabled to one or two
+        // reachable peers through a journaled transaction — minimal
+        // re-route, no full sweep.
+        const auto peers = attach_peers();
+        if (!peers.empty()) {
+          const auto [sw, cables] = draw_attach(peers);
+          event.detail = fabric.node(sw).name;
+          try {
+            const auto txn = topo.attach_switch(sw, cables);
+            event.detail += " +" + std::to_string(txn.stats.lft_smps) + "smp";
+            ++report.topology_commits;
+          } catch (const sm::TopologyError& err) {
+            event.detail += std::string(" failed: ") + to_string(err.code());
+            ++report.topology_rollbacks;
+          }
+          applied = structural = true;
+        }
+        break;
+      }
+      case EventKind::kDetachSwitch: {
+        const auto candidates = detach_candidates();
+        if (!candidates.empty()) {
+          const NodeId id = candidates[rng.below(candidates.size())];
+          event.detail = fabric.node(id).name;
+          try {
+            const auto txn = topo.detach_switch(id);
+            event.detail += " -" + std::to_string(txn.stats.lft_smps) + "smp";
+            ++report.topology_commits;
+          } catch (const sm::TopologyError& err) {
+            event.detail += std::string(" failed: ") + to_string(err.code());
+            ++report.topology_rollbacks;
+          }
+          applied = structural = true;
+        }
+        break;
+      }
+      case EventKind::kKillSwitchMidAttach: {
+        // The subject dies between the cabling mutation and the re-route:
+        // the transaction must notice the unreachable switch and roll back
+        // to a byte-identical fabric. The bricked switch stays dead
+        // (awaiting replacement) with no cables plugged.
+        const auto peers = attach_peers();
+        if (!peers.empty()) {
+          const auto [sw, cables] = draw_attach(peers);
+          event.detail = fabric.node(sw).name;
+          auto txn = topo.begin_attach_switch(sw, cables);
+          try {
+            topo.txn_mutate(txn);
+            injector.kill_node(sw);
+            topo.txn_reroute(txn);
+            topo.txn_commit(txn);
+            event.detail += " survived";
+            ++report.topology_commits;
+          } catch (const sm::TopologyError&) {
+            topo.txn_rollback(txn);
+            event.detail += " killed mid-attach -> rolled_back";
+            ++report.topology_rollbacks;
+          }
+          applied = structural = true;
+        }
+        break;
+      }
+      case EventKind::kKillMasterMidDetach: {
+        // The master SM dies after a random number of the detach's LFT
+        // SMPs; the write-ahead journal replays the record — forward when
+        // the delta set was journaled, back otherwise — exactly as a
+        // standby promoted by SmElection would.
+        const auto candidates = detach_candidates();
+        if (!candidates.empty()) {
+          const NodeId id = candidates[rng.below(candidates.size())];
+          // Die either right after the cabling mutation (the record holds
+          // cables but no delta set — recovery must roll BACK, re-plugging
+          // the exact cables) or after a random number of apply SMPs (the
+          // delta set is journaled — recovery rolls FORWARD).
+          const bool die_early = rng.below(2) == 1;
+          const std::uint64_t abort_after = 1 + rng.below(4);
+          event.detail = fabric.node(id).name;
+          auto txn = topo.begin_detach_switch(id);
+          sm::TopologyApplyOptions opts;
+          opts.abort_after_smps = abort_after;
+          try {
+            topo.txn_mutate(txn);
+            if (die_early) {
+              const auto recovery =
+                  vsf.journal().recover(sm, config.max_reconverge_rounds);
+              event.detail +=
+                  " died@mutate -> " + std::string(recovery.rolled_back > 0
+                                                       ? "rolled_back"
+                                                       : "rolled_forward");
+              ++report.topology_rollbacks;
+              applied = structural = true;
+              break;
+            }
+            topo.txn_reroute(txn, opts);
+            topo.txn_commit(txn);
+            event.detail += " survived";
+            ++report.topology_commits;
+          } catch (const sm::TopologyError& err) {
+            if (err.code() == sm::TopologyErrc::kInterrupted) {
+              const auto recovery =
+                  vsf.journal().recover(sm, config.max_reconverge_rounds);
+              const bool forward = recovery.rolled_forward > 0;
+              event.detail += " died@" + std::to_string(abort_after) +
+                              "smp -> " +
+                              (forward ? "rolled_forward" : "rolled_back");
+              if (forward) {
+                ++report.topology_commits;
+              } else {
+                ++report.topology_rollbacks;
+              }
+            } else {
+              if (!txn.terminal()) topo.txn_rollback(txn);
+              event.detail += std::string(" failed: ") +
+                              to_string(err.code()) + " -> rolled_back";
+              ++report.topology_rollbacks;
+            }
+          }
+          applied = structural = true;
         }
         break;
       }

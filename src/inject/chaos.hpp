@@ -69,6 +69,19 @@ struct ChaosConfig {
   // write-ahead journal, as a freshly elected master would.
   unsigned weight_kill_dst_mid_migration = 0;
   unsigned weight_kill_master_mid_reconfig = 0;
+  // Topology-delta events (default 0: enabling them must not perturb the
+  // digests of existing seeds). attach_switch cables a brand-new switch to
+  // one or two reachable peers through a journaled TopologyTxn;
+  // detach_switch severs a safety-filtered, endpoint-free switch the same
+  // way; kill_switch_mid_attach kills the subject between the cabling
+  // mutation and the re-route (the transaction must roll back to a
+  // byte-identical fabric); kill_master_mid_detach cuts the detach's LFT
+  // batch short after a random number of SMPs and replays the write-ahead
+  // journal, as a freshly elected master would.
+  unsigned weight_attach_switch = 0;
+  unsigned weight_detach_switch = 0;
+  unsigned weight_kill_switch_mid_attach = 0;
+  unsigned weight_kill_master_mid_detach = 0;
 
   /// Probabilistic MAD plane active for the whole run (drops force the
   /// transport's retry/backoff machinery; jitter perturbs latencies).
@@ -102,6 +115,10 @@ struct ChaosReport {
   /// migration must end committed or rolled back, never in between.
   std::size_t migration_commits = 0;
   std::size_t migration_rollbacks = 0;
+  /// Transactional outcomes from the topology-delta events: every delta
+  /// must end committed or rolled back (possibly via journal replay).
+  std::size_t topology_commits = 0;
+  std::size_t topology_rollbacks = 0;
   std::size_t skipped = 0;  ///< steps whose picked kind had no candidate
   std::size_t reconverge_rounds = 0;
   std::uint64_t reconverge_smps = 0;

@@ -83,6 +83,38 @@ struct MigrationRecord {
   bool reconciled = false;
 };
 
+/// Which structural change a topology record describes.
+enum class TopologyOp : std::uint8_t {
+  kAttachSwitch,  ///< new switch cabled in, LID assigned, routes grown
+  kDetachSwitch,  ///< switch drained, cables severed, routes repaired
+  kAddLink,       ///< one new cable between existing switches
+  kRemoveLink,    ///< one cable removed, affected routes repaired
+};
+
+[[nodiscard]] const char* to_string(TopologyOp op);
+
+/// Everything a recovering SM needs to finish or undo one topology delta.
+/// Like MigrationRecord, keyed by durable identities only — the cable list
+/// carries exact endpoints so a rolled-back detach re-plugs precisely what
+/// was severed, and a rolled-back attach unplugs precisely what was added.
+struct TopologyRecord {
+  std::uint64_t id = 0;
+  TopologyOp op = TopologyOp::kAddLink;
+  /// The switch being attached or detached (kInvalidNode for link ops).
+  NodeId subject = kInvalidNode;
+  /// The subject switch's management LID: assigned on attach, released on
+  /// detach, restored verbatim when the delta rolls back.
+  Lid subject_lid;
+  /// Cables this delta adds (attach/add_link) or removes
+  /// (detach/remove_link).
+  std::vector<CableSpec> cables;
+  /// Write-ahead mark: the cabling mutation is about to begin.
+  bool mutated = false;
+  std::vector<LftDelta> deltas;  ///< the full planned re-route delta set
+  RecordState state = RecordState::kInFlight;
+  bool reconciled = false;
+};
+
 /// What ReconfigJournal::recover() did to the in-flight records.
 struct RecoveryReport {
   std::size_t in_flight = 0;       ///< records that needed a decision
@@ -116,6 +148,30 @@ class ReconfigJournal {
   }
   [[nodiscard]] std::size_t in_flight() const;
 
+  /// Opens a topology record; assigns and returns its id.
+  std::uint64_t begin_topology(TopologyRecord record);
+
+  /// Write-ahead mark: the cabling mutation for record `id` is about to run.
+  void record_topology_mutated(std::uint64_t id);
+
+  /// Write-ahead mark: the subject's LID for record `id`, recorded before
+  /// the PortInfo SMP goes out (an attach learns the LID only mid-flight).
+  void record_topology_lid(std::uint64_t id, Lid lid);
+
+  /// Write-ahead mark: the re-route delta set for record `id`, recorded
+  /// before any LFT SMP goes out.
+  void record_topology_deltas(std::uint64_t id, std::vector<LftDelta> deltas);
+
+  void commit_topology(std::uint64_t id);
+  void roll_back_topology(std::uint64_t id);
+
+  [[nodiscard]] TopologyRecord* find_topology(std::uint64_t id);
+  [[nodiscard]] const TopologyRecord* find_topology(std::uint64_t id) const;
+  [[nodiscard]] const std::vector<TopologyRecord>& topology_records()
+      const noexcept {
+    return topology_records_;
+  }
+
   /// Drops terminal records the vSwitch layer has already reconciled,
   /// bounding journal growth. Returns how many were dropped.
   std::size_t truncate_reconciled();
@@ -137,7 +193,12 @@ class ReconfigJournal {
                          SmpRouting routing = SmpRouting::kLidRouted);
 
  private:
+  /// Resolves one in-flight topology record against the current fabric.
+  void recover_topology(SubnetManager& sm, TopologyRecord& r,
+                        RecoveryReport& report, SmpRouting routing);
+
   std::vector<MigrationRecord> records_;
+  std::vector<TopologyRecord> topology_records_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -22,6 +22,8 @@ struct SweepMetrics {
   telemetry::Counter& blocks_skipped;
   telemetry::Gauge& last_pct_seconds;
   telemetry::Gauge& last_lftdt_us;
+  telemetry::Counter& cold_resyncs;
+  telemetry::Counter& topology_adoptions;
 
   static SweepMetrics& get() {
     auto& reg = telemetry::Registry::global();
@@ -41,6 +43,10 @@ struct SweepMetrics {
                   "Path-computation time of the last routing run"),
         reg.gauge("ibvs_sm_last_lftdt_us", {},
                   "Batch makespan of the last LFT distribution"),
+        reg.counter("ibvs_sm_cold_resyncs_total", {},
+                    "Full-LFT resyncs of switches restored after an outage"),
+        reg.counter("ibvs_sm_topology_adoptions_total", {},
+                    "Structural fabric changes adopted without a PCt"),
     };
     return m;
   }
@@ -203,8 +209,23 @@ void SubnetManager::collect_lft_diffs(
   // be programmed anyway — diffing it would charge the sweep for SMPs that
   // can never be delivered (they are re-diffed once the switch returns).
   reachable.assign(n, 0);
+  // The cold set is resolved in the same serial pass: a switch observed
+  // unreachable is remembered; the first pass that sees it reachable again
+  // schedules a cold full-table resend (after an outage the installed LFT
+  // cannot be trusted on real hardware — the simulation preserves it, but
+  // the SM must not rely on that) and drops it from the set, so the next
+  // round diffs it normally and convergence still means a zero-send round.
+  std::vector<std::uint8_t> cold(n, 0);
   for (std::size_t s = 0; s < n; ++s) {
     reachable[s] = transport_.hops_to(g.switches[s]).has_value() ? 1 : 0;
+    if (!reachable[s]) {
+      cold_pending_.insert(g.switches[s]);
+    } else if (auto it = cold_pending_.find(g.switches[s]);
+               it != cold_pending_.end()) {
+      cold[s] = 1;
+      cold_pending_.erase(it);
+      SweepMetrics::get().cold_resyncs.inc();
+    }
   }
   // The per-switch block scans are independent pure reads of the master and
   // installed tables, so they fan out over the pool into per-switch send
@@ -218,6 +239,15 @@ void SubnetManager::collect_lft_diffs(
         for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
           if (!reachable[s]) continue;
           const Lft& master = routing_.lfts[s];
+          if (cold[s]) {
+            // Restored after an outage: resend every master block, matching
+            // or not — content equality with a switch that just came back
+            // proves nothing about what its hardware actually holds.
+            for (std::size_t b = 0; b < master.block_count(); ++b) {
+              to_send[s].push_back(static_cast<std::uint32_t>(b));
+            }
+            continue;
+          }
           const Lft& installed = fabric_.node(g.switches[s]).lft;
           master.for_each_diff_block(installed, [&](std::size_t b) {
             // Blocks beyond the master's capacity have no payload to send;
@@ -351,6 +381,21 @@ void SubnetManager::update_master_entry(routing::SwitchIdx sw, Lid lid,
 void SubnetManager::refresh_targets() {
   IBVS_REQUIRE(routing_ready_, "no master tables yet");
   routing_.graph.rebuild_targets(fabric_, lids_);
+}
+
+void SubnetManager::adopt_topology_change() {
+  IBVS_REQUIRE(routing_ready_, "no master tables yet");
+  routing_.graph = routing::SwitchGraph::build(fabric_, lids_);
+  // Physical switches are enumerated in NodeId order and nodes are never
+  // removed, so every pre-existing switch keeps its dense index; newly
+  // added switches append at the tail and get empty master tables (every
+  // entry kDropPort) for the topology transaction to fill in.
+  while (routing_.lfts.size() < routing_.graph.num_switches()) {
+    routing_.lfts.emplace_back(lids_.top_lid());
+  }
+  transport_.invalidate_topology();
+  ++generation_;
+  SweepMetrics::get().topology_adoptions.inc();
 }
 
 std::uint64_t SubnetManager::push_dirty_blocks(routing::SwitchIdx sw,

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "fabric/transport.hpp"
@@ -118,8 +119,10 @@ class SubnetManager {
   /// Recomputes routes, then repeatedly distributes the differing LFT
   /// blocks until a round sends none (every reachable switch verified up
   /// to date) or `max_rounds` is hit. Switches currently unreachable from
-  /// the SM are skipped — they cannot be programmed, and their blocks are
-  /// re-diffed once they return. With a lossy fault model attached to the
+  /// the SM are skipped — they cannot be programmed — and remembered: once
+  /// such a switch returns it gets a cold full-LFT resync (its installed
+  /// state cannot be trusted after an outage), then rejoins normal
+  /// diffing. With a lossy fault model attached to the
   /// transport this is the SM's recovery loop: a failed install leaves the
   /// block different, so the next round simply resends it.
   ReconvergeReport reconverge(std::size_t max_rounds = 64,
@@ -147,6 +150,23 @@ class SubnetManager {
   /// Refreshes the routing result's LID target list after LIDs were
   /// created, destroyed or moved without a full recompute.
   void refresh_targets();
+
+  /// Adopts a structural fabric change — switch attached or detached, cable
+  /// added or removed — without a routing recompute. Rebuilds the switch
+  /// graph (dense indices are append-stable: nodes are never removed, so
+  /// existing switches keep theirs), grows master LFTs for newly appended
+  /// switches (born empty, every entry kDropPort), and invalidates the
+  /// transport's cached topology. Existing master entries survive so
+  /// topology transactions and journal replay can patch them incrementally
+  /// instead of paying a full PCt.
+  void adopt_topology_change();
+
+  /// Switches currently known to need a cold full-LFT resync once they
+  /// become reachable again (observed unreachable by a diff pass and not
+  /// yet resynced). Exposed for tests.
+  [[nodiscard]] std::size_t cold_resyncs_pending() const noexcept {
+    return cold_pending_.size();
+  }
 
   /// Pushes the master blocks containing `lid` (and any other dirty blocks
   /// of that switch) to the hardware of switch `sw`. Returns SMPs sent.
@@ -192,6 +212,12 @@ class SubnetManager {
   fabric::SmpTransport transport_;
   std::unique_ptr<routing::RoutingEngine> engine_;
   routing::RoutingResult routing_;
+  /// Switches seen unreachable by collect_lft_diffs(). On a real fabric a
+  /// switch returning from a power event holds an LFT the SM cannot trust
+  /// (the simulation preserves installed tables, real hardware does not),
+  /// so the first diff pass that finds one of these reachable again resends
+  /// its *entire* master table instead of only the blocks that differ.
+  std::unordered_set<NodeId> cold_pending_;
   bool routing_ready_ = false;
   std::uint64_t generation_ = 0;
   std::vector<FlaggedPort> degraded_ports_;

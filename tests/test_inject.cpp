@@ -322,6 +322,38 @@ TEST(Failover, MasterDiesMidBatchStandbyReconverges) {
   EXPECT_TRUE(report.clean()) << report.violations.front();
 }
 
+TEST(ColdResync, RevivedSwitchGetsFullTableResync) {
+  // A switch that vanished and came back may have rebooted with stale or
+  // empty hardware tables the SM cannot see. The sweep must not trust the
+  // last-known installed copy: the first reconverge that reaches the
+  // revived switch resends its entire master table, then returns to
+  // diff-only pushes.
+  auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
+  s.vsf->boot();
+  inject::FaultInjector injector(s.fabric, 5);
+  injector.attach_transport(&s.sm->transport());
+  const NodeId spine = s.built.spines[0];
+
+  injector.kill_node(spine);
+  const auto down = s.sm->reconverge();
+  EXPECT_TRUE(down.converged);
+  EXPECT_EQ(s.sm->cold_resyncs_pending(), 1u)
+      << "the unreachable spine must be marked for a cold resync";
+
+  injector.revive_node(spine);
+  const auto up = s.sm->reconverge();
+  EXPECT_TRUE(up.converged);
+  EXPECT_EQ(s.sm->cold_resyncs_pending(), 0u);
+  // Full-table resend: every block of the revived switch went out even
+  // though its installed bytes still matched the master copy.
+  EXPECT_GE(up.smps, s.sm->lids().min_lft_blocks());
+
+  // Steady state again: nothing further to send, and the checker is clean.
+  EXPECT_EQ(s.sm->reconverge().smps, 0u);
+  const inject::FabricChecker checker(*s.sm);
+  EXPECT_TRUE(checker.check(s.vsf.get()).clean());
+}
+
 TEST(Chaos, SameSeedSameDigest) {
   auto run = [](std::uint64_t seed) {
     auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
@@ -339,6 +371,29 @@ TEST(Chaos, SameSeedSameDigest) {
     EXPECT_EQ(a.events[i].detail, b.events[i].detail);
   }
   EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(Chaos, LegacySeedDigestPinned) {
+  // The new fault kinds (migration faults, topology deltas) default to
+  // weight 0 and zero-weight kinds draw nothing from the RNG, so enabling
+  // the features must not perturb existing seeds. This digest was captured
+  // before the topology-delta events existed; it must stay bit-stable.
+  // (Switch kill/revive are disabled because the cold-resync fix
+  // legitimately changed the SMP counts of seeds that revive switches.)
+  auto s = test::VirtualSubnet::small(core::LidScheme::kDynamic);
+  s.vsf->boot();
+  cloud::CloudOrchestrator cloud(*s.vsf, cloud::Placement::kSpread);
+  cloud.launch_vms(s.hyps.size());
+  inject::FaultInjector injector(s.fabric, 1234);
+  inject::ChaosConfig config;
+  config.seed = 1234;
+  config.steps = 16;
+  config.weight_switch_kill = 0;
+  config.weight_switch_revive = 0;
+  config.mad_faults.drop_probability = 0.02;
+  const auto report = inject::run_chaos(cloud, injector, config);
+  EXPECT_EQ(report.checker_violations, 0u);
+  EXPECT_EQ(report.digest, 0x47c0542d79d8965cULL);
 }
 
 TEST(Chaos, RecoversWithZeroViolationsAcrossSeeds) {
